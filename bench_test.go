@@ -1,0 +1,143 @@
+package repro
+
+// One benchmark per table and figure of the evaluation chapter. Each
+// regenerates its experiment at the quick scale and reports the
+// headline metrics alongside the timing, so
+//
+//	go test -bench=. -benchmem
+//
+// re-derives the whole evaluation. cmd/figures prints the same tables
+// at the paper-sized "full" scale.
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func BenchmarkFig6_1_ICHKSizePARSEC(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		td := harness.Fig61(harness.Quick)
+		avg = td.Rows[len(td.Rows)-1].Values[0]
+	}
+	b.ReportMetric(avg, "avg_ICHK_%")
+}
+
+func BenchmarkFig6_2_ICHKSizeSPLASH(b *testing.B) {
+	var avg32, avg64 float64
+	for i := 0; i < b.N; i++ {
+		tds := harness.Fig62(harness.Quick)
+		avg32 = tds[0].Rows[len(tds[0].Rows)-1].Values[0]
+		avg64 = tds[1].Rows[len(tds[1].Rows)-1].Values[0]
+	}
+	b.ReportMetric(avg32, "avg_ICHK_half_%")
+	b.ReportMetric(avg64, "avg_ICHK_full_%")
+}
+
+func BenchmarkFig6_3_Overhead(b *testing.B) {
+	var glob, rbnd float64
+	for i := 0; i < b.N; i++ {
+		tds := harness.Fig63(harness.Quick)
+		avg := tds[0].Rows[len(tds[0].Rows)-1] // SPLASH-2 average row
+		glob, rbnd = avg.Values[0], avg.Values[3]
+	}
+	b.ReportMetric(glob, "Global_ovh_%")
+	b.ReportMetric(rbnd, "Rebound_ovh_%")
+}
+
+func BenchmarkFig6_4_BarrierOpt(b *testing.B) {
+	var noDWB, noDWBBarr float64
+	for i := 0; i < b.N; i++ {
+		td := harness.Fig64(harness.Quick)
+		avg := td.Rows[len(td.Rows)-1]
+		noDWB, noDWBBarr = avg.Values[1], avg.Values[2]
+	}
+	b.ReportMetric(noDWB, "NoDWB_ovh_%")
+	b.ReportMetric(noDWBBarr, "NoDWB_Barr_ovh_%")
+}
+
+func BenchmarkFig6_5_Breakdown(b *testing.B) {
+	var reboundTotal float64
+	for i := 0; i < b.N; i++ {
+		td := harness.Fig65(harness.Quick)
+		reboundTotal = td.Rows[2].Values[4] // Rebound total, Global==1
+	}
+	b.ReportMetric(reboundTotal, "Rebound_vs_Global")
+}
+
+func BenchmarkFig6_6_Scalability(b *testing.B) {
+	var globLargest, rbndLargest float64
+	for i := 0; i < b.N; i++ {
+		tds := harness.Fig66(harness.Quick)
+		last := tds[0].Rows[len(tds[0].Rows)-1]
+		globLargest, rbndLargest = last.Values[0], last.Values[2]
+	}
+	b.ReportMetric(globLargest, "Global_ovh_largest_%")
+	b.ReportMetric(rbndLargest, "Rebound_ovh_largest_%")
+}
+
+func BenchmarkFig6_7_OutputIO(b *testing.B) {
+	var glob, rbnd float64
+	for i := 0; i < b.N; i++ {
+		td := harness.Fig67(harness.Quick)
+		avg := td.Rows[len(td.Rows)-1]
+		glob, rbnd = avg.Values[0], avg.Values[1]
+	}
+	b.ReportMetric(glob, "Global_interval_instr")
+	b.ReportMetric(rbnd, "Rebound_interval_instr")
+}
+
+func BenchmarkFig6_8_Power(b *testing.B) {
+	var reboundVsGlobal, ed2 float64
+	for i := 0; i < b.N; i++ {
+		td := harness.Fig68(harness.Quick)
+		reboundVsGlobal = td.Rows[2].Values[1]
+		ed2 = td.Rows[2].Values[2]
+	}
+	b.ReportMetric(reboundVsGlobal, "Rebound_power_vs_Global_%")
+	b.ReportMetric(ed2, "Rebound_ED2_vs_Global_%")
+}
+
+// Ablation benches for the design choices DESIGN.md calls out (not
+// paper figures): WSIG geometry, the first-writeback log optimisation,
+// and Dep register-set pressure.
+
+func BenchmarkAblationWSIG(b *testing.B) {
+	var fp1024 float64
+	for i := 0; i < b.N; i++ {
+		td := harness.AblationWSIG(harness.Quick, "Water-Nsq")
+		fp1024 = td.Rows[3].Values[0]
+	}
+	b.ReportMetric(fp1024, "FP_1024bit_%")
+}
+
+func BenchmarkAblationFirstWB(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		td := harness.AblationFirstWB(harness.Quick, "Uniform")
+		saved = (1 - td.Rows[0].Values[0]/td.Rows[1].Values[0]) * 100
+	}
+	b.ReportMetric(saved, "log_entries_saved_%")
+}
+
+func BenchmarkAblationDepSets(b *testing.B) {
+	var stall2 float64
+	for i := 0; i < b.N; i++ {
+		td := harness.AblationDepSets(harness.Quick, "Uniform")
+		stall2 = td.Rows[0].Values[1]
+	}
+	b.ReportMetric(stall2, "depstall_2sets_kcycles")
+}
+
+func BenchmarkTable6_1_Characterization(b *testing.B) {
+	var fp, logMB, msg float64
+	for i := 0; i < b.N; i++ {
+		td := harness.Table61(harness.Quick)
+		avg := td.Rows[len(td.Rows)-1]
+		fp, logMB, msg = avg.Values[0], avg.Values[1], avg.Values[2]
+	}
+	b.ReportMetric(fp, "ICHK_FP_incr_%")
+	b.ReportMetric(logMB, "log_MB")
+	b.ReportMetric(msg, "msg_incr_%")
+}

@@ -1,0 +1,71 @@
+// Command figures regenerates every table and figure of the Rebound
+// evaluation chapter (Figures 6.1–6.8 and Table 6.1) as text tables.
+//
+//	figures                 # everything at the default (full) scale
+//	figures -scale quick    # fast, smaller machine
+//	figures -fig 6.3        # a single figure
+//
+// Absolute numbers differ from the paper (scaled intervals, synthetic
+// workloads — see DESIGN.md and EXPERIMENTS.md); the shapes — who wins,
+// by roughly what factor, and how trends scale — are the reproduction
+// target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "full", "experiment scale: quick|full")
+		fig       = flag.String("fig", "all", "which figure: all|6.1|6.2|6.3|6.4|6.5|6.6|6.7|6.8|t6.1")
+	)
+	flag.Parse()
+
+	sc, err := harness.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	type runner struct {
+		id string
+		fn func(harness.Scale) []harness.TableData
+	}
+	one := func(f func(harness.Scale) harness.TableData) func(harness.Scale) []harness.TableData {
+		return func(s harness.Scale) []harness.TableData { return []harness.TableData{f(s)} }
+	}
+	runners := []runner{
+		{"6.1", one(harness.Fig61)},
+		{"6.2", harness.Fig62},
+		{"6.3", harness.Fig63},
+		{"6.4", one(harness.Fig64)},
+		{"6.5", one(harness.Fig65)},
+		{"6.6", harness.Fig66},
+		{"6.7", one(harness.Fig67)},
+		{"6.8", one(harness.Fig68)},
+		{"t6.1", one(harness.Table61)},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *fig != "all" && *fig != r.id {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		for _, td := range r.fn(sc) {
+			fmt.Println(td.Format())
+		}
+		fmt.Printf("[%s regenerated in %.1fs at scale %q]\n\n", r.id, time.Since(start).Seconds(), sc.Name)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+}

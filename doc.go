@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Rebound: Scalable
+// Checkpointing for Coherent Shared Memory" (Agarwal, Garg, Torrellas;
+// ISCA 2011 / UIUC MS thesis 2011).
+//
+// The repository contains a deterministic manycore simulator with
+// directory-based MESI coherence (internal/machine and its substrates),
+// the Rebound coordinated local checkpointing scheme and its Global
+// (ReVive-style) baseline (internal/core), synthetic SPLASH-2 / PARSEC /
+// Apache workload profiles (internal/workload), a fault injector with
+// poison-propagation verification (internal/fault), and a harness that
+// regenerates every figure and table of the paper's evaluation chapter
+// (internal/harness, cmd/figures). The root-level benchmarks in
+// bench_test.go map one-to-one onto the paper's figures and tables.
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory
+// and the paper-to-module mapping, and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro

@@ -1,0 +1,50 @@
+// Quickstart: build a 16-processor Rebound machine, run a SPLASH-2-like
+// workload, and print what the checkpointing cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A 16-tile manycore with the paper's cache/memory parameters and a
+	// scaled checkpoint interval (30k instructions; the paper uses 4M).
+	cfg := machine.DefaultConfig(16)
+	cfg.CkptInterval = 30_000
+	cfg.DetectLatency = 8_000 // L: fault-detection latency bound, cycles
+
+	// The workload: Barnes' communication structure (moderate sharing,
+	// occasional barriers and locks).
+	prof := workload.ByName("Barnes")
+
+	// The scheme: Rebound with delayed writebacks (the paper's
+	// headline configuration).
+	scheme := core.NewRebound(core.Options{DelayedWB: true})
+
+	m := machine.New(cfg, prof, scheme)
+	end := m.Run(16 * 150_000) // 150k instructions per processor
+	m.FinalizeStats()
+
+	st := m.St
+	fmt.Printf("ran %d instructions in %d cycles (chip IPC %.2f)\n",
+		st.TotalInstructions(), end, float64(st.TotalInstructions())/float64(end))
+	fmt.Printf("checkpoints taken: %d\n", len(st.Checkpoints))
+	fmt.Printf("average interaction set: %.0f%% of processors\n", st.AvgICHKFraction()*100)
+	fmt.Printf("dirty lines written back at checkpoints: %d (%d hidden in background)\n",
+		st.L2WritebacksCkpt, st.L2WritebacksBg)
+	fmt.Printf("undo log: %d entries, %.2f MB high water\n",
+		st.LogEntries, float64(st.LogHighWaterBytes)/(1<<20))
+	fmt.Printf("dependence-tracking message overhead: +%.1f%%\n", st.MessageIncreasePct())
+
+	// Compare against the same machine with no checkpointing at all.
+	base := machine.New(cfg, prof, machine.NullScheme{})
+	baseEnd := base.Run(16 * 150_000)
+	fmt.Printf("checkpointing overhead vs no-checkpointing: %.2f%%\n",
+		(float64(end)/float64(baseEnd)-1)*100)
+}

@@ -1,0 +1,204 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(8)
+	if !b.Empty() {
+		t.Fatal("new bitset should be empty")
+	}
+	b.Set(3)
+	b.Set(200) // beyond initial capacity: must grow
+	if !b.Test(3) || !b.Test(200) {
+		t.Fatal("Set/Test failed")
+	}
+	if b.Test(4) || b.Test(199) || b.Test(-1) {
+		t.Fatal("Test reported phantom members")
+	}
+	if got := b.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	b.Clear(3)
+	if b.Test(3) {
+		t.Fatal("Clear(3) did not remove 3")
+	}
+	b.Clear(10000) // out of range clear is a no-op
+	b.Clear(-5)
+	if got := b.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+}
+
+func TestSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(-1) should panic")
+		}
+	}()
+	New(4).Set(-1)
+}
+
+func TestOrAndNot(t *testing.T) {
+	a, b := New(64), New(64)
+	a.Set(1)
+	a.Set(63)
+	b.Set(63)
+	b.Set(130)
+	a.Or(b)
+	want := []int{1, 63, 130}
+	if got := a.Elems(); !equalInts(got, want) {
+		t.Fatalf("Or: got %v want %v", got, want)
+	}
+	a.AndNot(b)
+	if got := a.Elems(); !equalInts(got, []int{1}) {
+		t.Fatalf("AndNot: got %v want [1]", got)
+	}
+	a.Or(nil) // nil-safe
+	a.AndNot(nil)
+}
+
+func TestCloneCopyEqual(t *testing.T) {
+	a := New(16)
+	a.Set(2)
+	a.Set(77)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c.Set(5)
+	if a.Equal(c) || a.Test(5) {
+		t.Fatal("clone must not alias original storage")
+	}
+	var d Bitset
+	d.CopyFrom(a)
+	if !d.Equal(a) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	// Different trailing-zero-word lengths must still compare equal.
+	e := New(1024)
+	e.Set(2)
+	e.Set(77)
+	if !e.Equal(a) || !a.Equal(e) {
+		t.Fatal("Equal must ignore trailing zero words")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := New(8), New(8)
+	a.Set(7)
+	b.Set(8)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets reported intersecting")
+	}
+	b.Set(7)
+	if !a.Intersects(b) {
+		t.Fatal("overlapping sets reported disjoint")
+	}
+}
+
+func TestResetAndString(t *testing.T) {
+	a := New(8)
+	a.Set(0)
+	a.Set(9)
+	if got := a.String(); got != "{0, 9}" {
+		t.Fatalf("String = %q", got)
+	}
+	a.Reset()
+	if !a.Empty() {
+		t.Fatal("Reset left elements behind")
+	}
+	if got := a.String(); got != "{}" {
+		t.Fatalf("String after reset = %q", got)
+	}
+}
+
+// Property: a Bitset behaves exactly like a map[int]bool under a random
+// operation sequence.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64, nops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New(4)
+		ref := map[int]bool{}
+		for i := 0; i < int(nops)+20; i++ {
+			x := rng.Intn(300)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(x)
+				ref[x] = true
+			case 1:
+				b.Clear(x)
+				delete(ref, x)
+			case 2:
+				if b.Test(x) != ref[x] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		want := make([]int, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Ints(want)
+		return equalInts(b.Elems(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Or is union, AndNot is difference.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(4), New(4)
+		ref := map[int]bool{}
+		for _, x := range xs {
+			a.Set(int(x % 500))
+			ref[int(x%500)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y % 500))
+		}
+		u := a.Clone()
+		u.Or(b)
+		for _, y := range ys {
+			ref[int(y%500)] = true
+		}
+		for k := range ref {
+			if !u.Test(k) {
+				return false
+			}
+		}
+		if u.Count() != len(ref) {
+			return false
+		}
+		d := u.Clone()
+		d.AndNot(b)
+		if d.Intersects(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

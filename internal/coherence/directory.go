@@ -1,0 +1,358 @@
+// Package coherence implements the full-map directory MESI protocol of
+// the Rebound manycore, augmented with the Last-Writer-ID (LW-ID) field
+// per directory entry and the lazy dependence recording of §3.3.1:
+//
+//   - WR/Upgrade: invalidate sharers, record old-LW-ID → writer
+//     dependence, set LW-ID to the writer.
+//   - RD: forward to the owner if any; record LW-ID → reader dependence
+//     via an "are you the last writer?" query answered from the WSIG
+//     (NO_WR clears a stale LW-ID, §3.3.2).
+//   - RDX (read that returns Exclusive): sets LW-ID like a write, since
+//     the processor may later write silently.
+//
+// Coherence transactions execute atomically (functional protocol); the
+// requesting processor is charged the transaction latency, and the
+// extra dependence-maintenance messages are accounted separately
+// (Table 6.1 row 3).
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Node is the per-tile L2 controller surface the directory talks to.
+// It is implemented by the machine's processor model.
+type Node interface {
+	// Recall asks the node for its copy of line. If invalidate is
+	// true the copy is removed (L1 included); otherwise it is
+	// downgraded to Shared. ok is false if the node no longer holds
+	// the line (silent clean eviction left the directory stale).
+	Recall(line uint64, invalidate bool) (data mem.Word, dirty bool, epoch uint64, ok bool)
+	// InvalidateShared removes a clean shared copy (L1 included).
+	InvalidateShared(line uint64)
+	// LastWriterCheck is the "are you the last writer of line?" query:
+	// the node tests line against its live WSIGs in reverse age order
+	// and, on a match, sets bit consumer in that epoch's MyConsumers
+	// and returns ok. It returns ok=false (NO_WR) when no WSIG matches,
+	// telling the directory to clear the stale LW-ID. exact is the
+	// answer an ideal signature would have given (measurement only for
+	// Table 6.1; exact implies ok).
+	LastWriterCheck(line uint64, consumer int) (ok, exact bool)
+	// AddProducer sets bit producer in the node's current MyProducers.
+	// Per §3.3.2 this happens unconditionally (before any NO_WR reply
+	// could arrive), so MyProducers may be a superset of the truth.
+	// exact=true additionally updates the measurement-only shadow.
+	AddProducer(producer int, exact bool)
+}
+
+const noProc = -1
+
+type entry struct {
+	owner   int
+	sharers *bitset.Bitset
+	lwid    int
+}
+
+// Directory is the (logically distributed, physically one-per-tile)
+// full-map directory.
+type Directory struct {
+	topo  *topo.Topology
+	st    *stats.Stats
+	ctrl  *mem.Controller
+	nodes []Node
+
+	entries map[uint64]*entry
+
+	// L2HitCycles is charged for the remote L2 access on forwarded
+	// requests.
+	L2HitCycles sim.Cycle
+}
+
+// New returns a directory for the given tiles.
+func New(tp *topo.Topology, st *stats.Stats, ctrl *mem.Controller, nodes []Node) *Directory {
+	return &Directory{
+		topo:        tp,
+		st:          st,
+		ctrl:        ctrl,
+		nodes:       nodes,
+		entries:     make(map[uint64]*entry),
+		L2HitCycles: 8,
+	}
+}
+
+func (d *Directory) entryFor(line uint64) *entry {
+	e := d.entries[line]
+	if e == nil {
+		e = &entry{owner: noProc, lwid: noProc, sharers: bitset.New(len(d.nodes))}
+		d.entries[line] = e
+	}
+	return e
+}
+
+// LWID returns the last-writer field of line (noProc==-1 when null).
+func (d *Directory) LWID(line uint64) int {
+	if e := d.entries[line]; e != nil {
+		return e.lwid
+	}
+	return noProc
+}
+
+// recordDependence performs the lazy dependence recording of §3.3.1 for
+// a transaction by pid on line: the requester optimistically sets
+// MyProducers[lwid]; the LW-ID processor checks its WSIGs and either
+// sets MyConsumers[pid] or answers NO_WR, clearing the stale LW-ID.
+// piggybacked marks the LW-ID processor as already on the transaction's
+// message path (the recalled owner), in which case the query rides the
+// existing messages for free.
+func (d *Directory) recordDependence(pid int, line uint64, e *entry, piggybacked bool) {
+	lw := e.lwid
+	if lw == noProc || lw == pid {
+		return
+	}
+	if !piggybacked {
+		d.st.DepMessages += 2 // query to LW-ID proc + its reply
+	}
+	ok, exact := d.nodes[lw].LastWriterCheck(line, pid)
+	d.nodes[pid].AddProducer(lw, exact)
+	if !ok {
+		e.lwid = noProc // NO_WR: stale LW-ID cleared
+	}
+}
+
+// ReadResult is the outcome of a load miss transaction.
+type ReadResult struct {
+	Data mem.Word
+	// State is the MESI state granted to the requester: Exclusive when
+	// no other sharer exists (an RDX, §3.3.1), Shared otherwise.
+	State cache.State
+	// Latency is the critical-path delay of the transaction, excluding
+	// the requester's own L2 access.
+	Latency sim.Cycle
+}
+
+// Read performs a GetS transaction for pid on line.
+func (d *Directory) Read(pid int, line uint64) ReadResult {
+	e := d.entryFor(line)
+	home := d.topo.Home(line)
+	lat := d.topo.Latency(pid, home)
+	d.st.CohMessages++ // request
+
+	if e.owner != noProc && e.owner != pid {
+		owner := e.owner
+		data, dirty, epoch, ok := d.nodes[owner].Recall(line, false)
+		if ok {
+			// Forward to owner; owner supplies the line and downgrades
+			// to Shared; a dirty copy is also written back to memory
+			// (MESI M→S), which the controller logs — off the read's
+			// critical path.
+			d.st.CohMessages += 3 // fwd, data-to-requester, ack-to-home
+			lat += d.topo.Latency(home, owner) + d.L2HitCycles + d.topo.Latency(owner, pid)
+			if dirty {
+				d.ctrl.Writeback(owner, epoch, line, data)
+			}
+			e.sharers.Set(owner)
+			e.owner = noProc
+			e.sharers.Set(pid)
+			d.recordDependence(pid, line, e, e.lwid == owner)
+			return ReadResult{Data: data, State: cache.Shared, Latency: lat}
+		}
+		// Stale owner (silent clean eviction): fall through to memory.
+		e.owner = noProc
+	}
+
+	d.recordDependence(pid, line, e, false)
+
+	// If clean sharers exist, the nearest one supplies the line
+	// cache-to-cache (the paper's ~60-cycle remote-L2 path); memory for
+	// S lines is up to date, so the value is memory's. Otherwise the
+	// line comes from main memory.
+	supplier := -1
+	e.sharers.ForEach(func(i int) {
+		if i == pid {
+			return
+		}
+		if supplier < 0 || d.topo.Hops(home, i) < d.topo.Hops(home, supplier) {
+			supplier = i
+		}
+	})
+	data := d.ctrl.Memory().Read(line)
+	if supplier >= 0 {
+		d.st.CohMessages += 3 // fwd, data, ack
+		lat += d.topo.Latency(home, supplier) + d.L2HitCycles + d.topo.Latency(supplier, pid)
+		e.sharers.Set(pid)
+		return ReadResult{Data: data, State: cache.Shared, Latency: lat}
+	}
+	memLat := d.ctrl.DRAM().ReadLatency(line)
+	lat += memLat + d.topo.Latency(home, pid)
+	d.st.CohMessages++ // data message
+	// No other copies: grant Exclusive (RDX). Like a write, this sets
+	// LW-ID, because the processor may write silently later.
+	e.sharers.Reset()
+	e.owner = pid
+	e.lwid = pid
+	return ReadResult{Data: data, State: cache.Exclusive, Latency: lat}
+}
+
+// WriteResult is the outcome of a store/RMW miss or upgrade transaction.
+type WriteResult struct {
+	// Data is the line's pre-write content (for read-modify-write).
+	Data    mem.Word
+	Latency sim.Cycle
+}
+
+// Write performs a GetX/Upgrade transaction for pid on line. The
+// requester ends as exclusive owner; the machine marks its cached copy
+// Modified and inserts the line in its current WSIG.
+func (d *Directory) Write(pid int, line uint64) WriteResult {
+	e := d.entryFor(line)
+	home := d.topo.Home(line)
+	lat := d.topo.Latency(pid, home)
+	d.st.CohMessages++ // request
+
+	var data mem.Word
+	gotData := false
+	// The dependence query rides for free on messages the transaction
+	// already sends when the LW-ID processor is the recalled owner or
+	// one of the invalidated sharers.
+	piggy := e.lwid != noProc && (e.lwid == e.owner || e.sharers.Test(e.lwid))
+
+	if e.owner != noProc && e.owner != pid {
+		owner := e.owner
+		if od, _, _, ok := d.nodes[owner].Recall(line, true); ok {
+			// Dirty (or clean-exclusive) copy migrates cache-to-cache;
+			// memory is not updated — the old value reaches the log
+			// whenever the line is eventually written back.
+			d.st.CohMessages += 3
+			lat += d.topo.Latency(home, owner) + d.L2HitCycles + d.topo.Latency(owner, pid)
+			data, gotData = od, true
+		}
+		e.owner = noProc
+	}
+
+	// Invalidate all other sharers; latency is the worst sharer round
+	// trip (invalidations go in parallel).
+	var worst sim.Cycle
+	wasSharer := false
+	e.sharers.ForEach(func(s int) {
+		if s == pid {
+			wasSharer = true
+			return
+		}
+		d.nodes[s].InvalidateShared(line)
+		d.st.CohMessages += 2 // inval + ack
+		if rt := 2 * d.topo.Latency(home, s); rt > worst {
+			worst = rt
+		}
+	})
+	lat += worst
+
+	if !gotData {
+		switch {
+		case wasSharer || e.owner == pid:
+			// Upgrade: requester already has the data.
+			d.st.CohMessages++ // grant
+			lat += d.topo.Latency(home, pid)
+			data = d.ctrl.Memory().Read(line)
+		case worst > 0:
+			// An invalidated sharer supplied the (memory-current) data
+			// cache-to-cache along with its ack.
+			d.st.CohMessages++ // data message
+			lat += d.topo.Latency(home, pid)
+			data = d.ctrl.Memory().Read(line)
+		default:
+			memLat := d.ctrl.DRAM().ReadLatency(line)
+			lat += memLat + d.topo.Latency(home, pid)
+			d.st.CohMessages++ // data message
+			data = d.ctrl.Memory().Read(line)
+		}
+	}
+
+	d.recordDependence(pid, line, e, piggy)
+	e.sharers.Reset()
+	e.owner = pid
+	e.lwid = pid
+	return WriteResult{Data: data, Latency: lat}
+}
+
+// WritebackEvict handles the displacement of a dirty line: the data is
+// written (and logged) to memory and the processor gives up ownership.
+// It returns the channel completion cycle. LW-ID is deliberately not
+// cleared (§3.3.1: clearing it would lose dependence tracking).
+func (d *Directory) WritebackEvict(pid int, line uint64, data mem.Word, epoch uint64) sim.Cycle {
+	e := d.entryFor(line)
+	if e.owner == pid {
+		e.owner = noProc
+	}
+	e.sharers.Clear(pid)
+	d.st.CohMessages++ // writeback message
+	d.st.L2WritebacksDemand++
+	return d.ctrl.Writeback(pid, epoch, line, data)
+}
+
+// WritebackRetain handles a checkpoint (or delayed) writeback: the data
+// is written and logged to memory but the processor keeps a clean copy
+// and remains owner (§3.3.1: "retaining clean copies in the caches";
+// the directory clears the Dirty bit but not LW-ID).
+func (d *Directory) WritebackRetain(pid int, line uint64, data mem.Word, epoch uint64, background bool) sim.Cycle {
+	d.st.CohMessages++
+	d.st.L2WritebacksCkpt++
+	if background {
+		d.st.L2WritebacksBg++
+	}
+	return d.ctrl.Writeback(pid, epoch, line, data)
+}
+
+// DropShared records the silent eviction of a clean shared line.
+func (d *Directory) DropShared(pid int, line uint64) {
+	if e := d.entries[line]; e != nil {
+		e.sharers.Clear(pid)
+	}
+}
+
+// DetachProc removes pid from every directory entry: ownership and
+// sharer bits are dropped and LW-IDs pointing at pid are cleared. Used
+// on rollback, after pid's caches are invalidated (§3.3.5).
+func (d *Directory) DetachProc(pid int) {
+	for _, e := range d.entries {
+		if e.owner == pid {
+			e.owner = noProc
+		}
+		e.sharers.Clear(pid)
+		if e.lwid == pid {
+			e.lwid = noProc
+		}
+	}
+}
+
+// CheckInvariants validates the directory against the actual cache
+// contents: an owned entry has no sharers, and every processor the
+// directory believes holds a copy either holds it or (owner case) may
+// have silently evicted a clean line. holds reports whether pid's L2
+// currently has a valid copy of line; dirtyAt reports whether it is
+// dirty. Panics on violation; used by tests and debug runs.
+func (d *Directory) CheckInvariants(holds func(pid int, line uint64) (present, dirty bool)) {
+	for line, e := range d.entries {
+		if e.owner != noProc && !e.sharers.Empty() {
+			panic(fmt.Sprintf("coherence: line %#x owned by %d but has sharers %v", line, e.owner, e.sharers))
+		}
+		e.sharers.ForEach(func(s int) {
+			if present, dirty := holds(s, line); present && dirty {
+				panic(fmt.Sprintf("coherence: line %#x dirty at sharer %d", line, s))
+			}
+		})
+		if e.owner != noProc {
+			// A silently evicted clean-exclusive line is allowed; a
+			// dirty line must never vanish without a writeback.
+			if present, _ := holds(e.owner, line); !present {
+				continue
+			}
+		}
+	}
+}

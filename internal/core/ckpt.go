@@ -1,0 +1,352 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ckptOp is one run of the distributed checkpointing protocol
+// (§3.3.4): the initiator collects the Interaction Set for
+// Checkpointing (ICHK) transitively through MyProducers, then drives
+// the group writeback.
+type ckptOp struct {
+	r         *Rebound
+	initiator int
+	io        bool
+
+	collecting bool
+	aborted    bool
+
+	members   map[int]*memberState
+	contacted map[int]bool
+	pending   int // outstanding CK? replies
+	busyHit   bool
+
+	start     sim.Cycle
+	wbStart   sim.Cycle
+	wbLeft    int
+	drainLeft int
+	recIdx    int
+	lines     uint64
+}
+
+type memberState struct {
+	rec      *machine.CkptRec
+	wbDoneAt sim.Cycle
+}
+
+// orderedMembers returns the member ids in ascending order: map
+// iteration order is randomised in Go, and the simulator must stay
+// deterministic.
+func (op *ckptOp) orderedMembers() []int {
+	ids := make([]int, 0, len(op.members))
+	for id := range op.members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// initiateCkpt starts the protocol with ps as initiator.
+func (r *Rebound) initiateCkpt(ps *pstate, io bool) {
+	op := &ckptOp{
+		r:          r,
+		initiator:  ps.p.ID(),
+		io:         io,
+		collecting: true,
+		members:    map[int]*memberState{ps.p.ID(): {}},
+		contacted:  map[int]bool{ps.p.ID(): true},
+		start:      r.m.Now(),
+		recIdx:     -1,
+	}
+	r.setBusy(ps, true)
+	ps.cop = op
+	ps.p.RequestPause(func() {
+		ps.pausedAt = r.m.Now()
+		op.expand(ps.p.ID())
+		op.maybeStart()
+	})
+}
+
+// expand sends CK? to the (not yet contacted) producers of member q.
+// The paper has members forward CK? themselves and report their
+// producer lists to the initiator in the Accept; driving the expansion
+// from the initiator is equivalent and uses the same message count.
+func (op *ckptOp) expand(q int) {
+	r := op.r
+	r.m.Procs[q].Deps().Current().MyProducers.ForEach(func(pr int) {
+		if op.contacted[pr] {
+			return
+		}
+		op.contacted[pr] = true
+		op.pending++
+		r.m.Send(q, pr, func() { r.onCK(op, pr, q) })
+	})
+}
+
+// onCK handles a CK? request at processor q, asked by consumer c.
+func (r *Rebound) onCK(op *ckptOp, q, c int) {
+	qs := r.ps[q]
+	reply := func(fn func()) { r.m.Send(q, op.initiator, fn) }
+	if op.aborted {
+		reply(func() { op.onDecline() })
+		return
+	}
+	if qs.busy || qs.inBarCk {
+		reply(func() { op.onBusy() })
+		return
+	}
+	if qs.draining {
+		// Nack: the delayed checkpoint must finish first; rush it
+		// (§4.1). The initiator treats it as Busy and retries later.
+		qs.p.RushDrain()
+		reply(func() { op.onBusy() })
+		return
+	}
+	// Decline if q never produced for c in this interval — c's
+	// MyProducers was stale, or q recently checkpointed and cleared
+	// its MyConsumers (§3.3.4).
+	if !qs.p.Deps().Current().MyConsumers.Test(c) {
+		reply(func() { op.onDecline() })
+		return
+	}
+	r.setBusy(qs, true)
+	qs.cop = op
+	qs.p.RequestPause(func() {
+		qs.pausedAt = r.m.Now()
+		reply(func() { op.onAccept(q) })
+	})
+}
+
+func (op *ckptOp) onAccept(q int) {
+	op.pending--
+	r := op.r
+	if r.ps[q].cop == op {
+		// Track the member even if the op was aborted meanwhile, so
+		// releaseAll resumes it.
+		op.members[q] = &memberState{}
+		if !op.aborted {
+			op.expand(q)
+		}
+	}
+	op.maybeStart()
+}
+
+func (op *ckptOp) onDecline() {
+	op.pending--
+	op.maybeStart()
+}
+
+func (op *ckptOp) onBusy() {
+	op.pending--
+	op.busyHit = true
+	op.maybeStart()
+}
+
+func (op *ckptOp) maybeStart() {
+	if !op.collecting || op.pending > 0 {
+		return
+	}
+	op.collecting = false
+	if op.aborted {
+		op.releaseAll(false)
+		return
+	}
+	if op.busyHit {
+		// Deadlock avoidance (§3.3.4): release everyone accepted so
+		// far and retry after a random delay.
+		op.releaseAll(true)
+		return
+	}
+	op.startWritebacks()
+}
+
+// releaseAll resumes every member without checkpointing.
+func (op *ckptOp) releaseAll(retry bool) {
+	r := op.r
+	for _, id := range op.orderedMembers() {
+		ps := r.ps[id]
+		if ps.cop != op {
+			continue
+		}
+		ps.cop = nil
+		r.setBusy(ps, false)
+		r.m.St.SyncDelay[id] += uint64(r.m.Now() - ps.pausedAt)
+		ps.retryNotBefore = r.m.Now() + r.backoff()
+		ps.p.Resume()
+		if retry && id == op.initiator && ps.ioResume != nil {
+			// The I/O still needs its checkpoint: retry after backoff.
+			r.m.After(r.backoff(), func() {
+				if !ps.busy && !ps.draining && ps.ioResume != nil {
+					r.initiateCkpt(ps, true)
+				}
+			})
+			continue
+		}
+		r.releaseHook(ps)
+	}
+}
+
+// startWritebacks runs the checkpoint proper over the collected set:
+// Fig 4.1(a) without delayed writebacks (processors stall for their
+// writebacks and synchronise), Fig 4.1(b) with them (processors resume
+// at once; the L2 controllers drain in the background).
+func (op *ckptOp) startWritebacks() {
+	r := op.r
+	op.recIdx = r.record(stats.CkptRecord{
+		Initiator:  op.initiator,
+		Size:       len(op.members),
+		SizeStatic: r.closureSize(op.initiator, false),
+		SizeExact:  r.closureSize(op.initiator, true),
+		Start:      op.start,
+		IO:         op.io,
+	})
+	r.m.Ctrl.Log().Stub(r.m.Now())
+	op.wbStart = r.m.Now()
+	op.wbLeft = len(op.members)
+	op.drainLeft = len(op.members)
+
+	for _, id := range op.orderedMembers() {
+		id, ms := id, op.members[id]
+		ps := r.ps[id]
+		ms.rec = ps.p.BeginCheckpoint()
+		if r.opts.DelayedWB {
+			op.lines += ps.p.MarkDelayed()
+			ps.draining = true
+			ps.p.StartDrain(func() {
+				ps.draining = false
+				ps.p.FinishCheckpoint(ms.rec)
+				op.drainDone()
+				r.releaseHook(ps)
+			})
+			ps.p.OpenNextEpoch(func() {
+				r.m.St.SyncDelay[id] += uint64(r.m.Now() - ps.pausedAt)
+				if ps.cop == op {
+					ps.cop = nil
+					r.setBusy(ps, false)
+				}
+				ps.p.Resume()
+				r.releaseHook(ps)
+			})
+		} else {
+			op.lines += ps.p.WritebackAllForeground(func() {
+				r.m.St.WBDelay[id] += uint64(r.m.Now() - op.wbStart)
+				ms.wbDoneAt = r.m.Now()
+				ps.p.FinishCheckpoint(ms.rec)
+				if op.aborted || ps.cop != op {
+					// Finish individually: the checkpoint is still a
+					// valid per-processor recovery point.
+					op.resumeMember(id)
+					return
+				}
+				op.wbLeft--
+				if op.wbLeft == 0 {
+					op.finishForeground()
+				}
+			})
+		}
+	}
+}
+
+// resumeMember reopens the member's next interval and resumes it
+// (used on the individual-finish path after an abort).
+func (op *ckptOp) resumeMember(id int) {
+	r := op.r
+	ps := r.ps[id]
+	if ps.rop != nil || !ps.p.Paused() {
+		// Claimed by a rollback (or already running): leave it alone.
+		return
+	}
+	ps.p.OpenNextEpoch(func() {
+		if ps.cop == op {
+			ps.cop = nil
+			r.setBusy(ps, false)
+		}
+		ps.p.Resume()
+		r.releaseHook(ps)
+	})
+}
+
+// finishForeground is the closing sync of Fig 4.1(a): all writebacks
+// done, everyone resumes together.
+func (op *ckptOp) finishForeground() {
+	r := op.r
+	now := r.m.Now()
+	for _, id := range op.orderedMembers() {
+		id, ms := id, op.members[id]
+		ps := r.ps[id]
+		if ps.cop != op {
+			continue
+		}
+		r.m.St.WBImbalance[id] += uint64(now - ms.wbDoneAt)
+		// Stall before the writeback started was coordination cost.
+		if op.wbStart > ps.pausedAt {
+			r.m.St.SyncDelay[id] += uint64(op.wbStart - ps.pausedAt)
+		}
+		// busy clears only once the next epoch is open: a processor
+		// stalled on Dep register pressure must keep answering Busy.
+		ps.p.OpenNextEpoch(func() {
+			if ps.cop == op {
+				ps.cop = nil
+				r.setBusy(ps, false)
+			}
+			ps.p.Resume()
+			r.releaseHook(ps)
+		})
+	}
+	op.complete()
+}
+
+// drainDone accounts one member's finished background drain; the
+// checkpoint completes when the last drain ends (Fig 4.1(b)'s closing
+// sync).
+func (op *ckptOp) drainDone() {
+	op.drainLeft--
+	if op.drainLeft == 0 && !op.aborted {
+		op.complete()
+	}
+}
+
+func (op *ckptOp) complete() {
+	r := op.r
+	if op.recIdx >= 0 {
+		rec := &r.m.St.Checkpoints[op.recIdx]
+		rec.End = r.m.Now()
+		rec.Lines = op.lines
+	}
+}
+
+// abortCkpt is called when a fault preempts an in-flight checkpoint
+// (§3.3.4: "a fault detected in a processor while checkpointing aborts
+// the whole checkpoint"). Members still collecting are released;
+// members already writing back finish individually (their checkpoints
+// remain valid per-processor recovery points); rolled-back members are
+// handled by the rollback itself.
+func (r *Rebound) abortCkpt(op *ckptOp) {
+	if op.aborted {
+		return
+	}
+	op.aborted = true
+	if op.collecting {
+		// Members pause asynchronously; releaseAll runs when the last
+		// reply arrives (maybeStart checks aborted). Members already
+		// paused can be released right away.
+		for _, id := range op.orderedMembers() {
+			ps := r.ps[id]
+			if ps.cop == op && ps.p.Paused() && op.members[id].rec == nil {
+				ps.cop = nil
+				r.setBusy(ps, false)
+				ps.retryNotBefore = r.m.Now() + r.backoff()
+				ps.p.Resume()
+				r.releaseHook(ps)
+			}
+		}
+		return
+	}
+	// Writeback phase: foreground members finish individually via
+	// their writeback callbacks; delayed members already resumed and
+	// their drains complete per processor. Nothing to do here.
+}

@@ -1,0 +1,176 @@
+// Package core implements the paper's contribution: the checkpointing
+// schemes. Global (and Global_DWB) is the ReVive-style baseline where
+// all processors checkpoint together; Rebound is coordinated local
+// checkpointing on directory coherence — interaction sets are collected
+// with the distributed protocols of §3.3.4/§3.3.5, writebacks can be
+// delayed (§4.1), several checkpoints stay live via the Dep register
+// sets (§4.2), and checkpointing at barriers can be hidden behind the
+// barrier imbalance (§4.2.1).
+package core
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options selects Rebound variants (Fig 4.3a's configuration list).
+type Options struct {
+	// DelayedWB enables the delayed (background) writebacks of §4.1.
+	DelayedWB bool
+	// BarrierOpt enables the proactive checkpoint at barriers (§4.2.1).
+	BarrierOpt bool
+}
+
+// Rebound is the coordinated local checkpointing scheme.
+type Rebound struct {
+	m    *machine.Machine
+	opts Options
+	rng  *sim.RNG
+	ps   []*pstate
+
+	barOp *barrierOp
+}
+
+// NewRebound returns a Rebound scheme with the given options.
+func NewRebound(opts Options) *Rebound { return &Rebound{opts: opts} }
+
+// Name implements machine.Scheme.
+func (r *Rebound) Name() string {
+	switch {
+	case r.opts.DelayedWB && r.opts.BarrierOpt:
+		return "Rebound_Barr"
+	case r.opts.DelayedWB:
+		return "Rebound"
+	case r.opts.BarrierOpt:
+		return "Rebound_NoDWB_Barr"
+	default:
+		return "Rebound_NoDWB"
+	}
+}
+
+// Attach implements machine.Scheme.
+func (r *Rebound) Attach(m *machine.Machine) {
+	r.m = m
+	r.rng = sim.NewRNG(m.Cfg.Seed ^ 0xc0ffee)
+	r.ps = make([]*pstate, m.Cfg.NProcs)
+	for i, p := range m.Procs {
+		r.ps[i] = &pstate{p: p}
+	}
+}
+
+// pstate is the per-processor protocol state.
+type pstate struct {
+	p *machine.Proc
+	// busy marks participation in a checkpoint or rollback operation
+	// (Busy replies go out while set).
+	busy bool
+	// draining marks a delayed checkpoint whose background writebacks
+	// have not finished; new checkpoint requests are Nacked and the
+	// drain is rushed (§4.1).
+	draining bool
+	// inBarCk marks participation in a barrier-optimised checkpoint.
+	inBarCk bool
+	// cop/rop point at the operation this processor is a member of.
+	cop *ckptOp
+	rop *rollOp
+	// retryNotBefore implements the random backoff after a Busy
+	// collision (§3.3.4).
+	retryNotBefore sim.Cycle
+	// pausedAt is when the processor stopped for the current operation.
+	pausedAt sim.Cycle
+	// ioResume is the pending output-I/O continuation: I/O proceeds
+	// once a checkpoint covering this processor completes (§6.4).
+	ioResume func()
+}
+
+func (r *Rebound) setBusy(ps *pstate, b bool) {
+	ps.busy = b
+	ps.p.InCkpt = b
+}
+
+// releaseHook runs whenever a processor leaves an operation; it fires a
+// pending I/O continuation.
+func (r *Rebound) releaseHook(ps *pstate) {
+	if !ps.busy && ps.ioResume != nil {
+		resume := ps.ioResume
+		ps.ioResume = nil
+		resume()
+	}
+}
+
+func (r *Rebound) backoff() sim.Cycle {
+	return sim.Cycle(8000 + r.rng.Intn(8000))
+}
+
+// IntervalExpired implements machine.Scheme: the processor initiates a
+// checkpoint of its interaction set (§3.3.4).
+func (r *Rebound) IntervalExpired(p *machine.Proc) {
+	ps := r.ps[p.ID()]
+	if ps.busy || ps.draining || r.m.Now() < ps.retryNotBefore {
+		return
+	}
+	r.initiateCkpt(ps, false)
+}
+
+// OutputIO implements machine.Scheme: output I/O must be preceded by a
+// checkpoint; the continuation fires when one covering this processor
+// completes.
+func (r *Rebound) OutputIO(p *machine.Proc, resume func()) {
+	ps := r.ps[p.ID()]
+	ps.ioResume = resume
+	if ps.busy || ps.draining {
+		// Already checkpointing (or draining one): that checkpoint
+		// satisfies the I/O; releaseHook fires the continuation.
+		if ps.draining {
+			p.RushDrain()
+		}
+		return
+	}
+	r.initiateCkpt(ps, true)
+}
+
+// FaultDetected implements machine.Scheme (see rollback.go).
+func (r *Rebound) FaultDetected(p *machine.Proc) { r.startRollback(r.ps[p.ID()]) }
+
+// closureSize computes the interaction set a synchronous collection
+// would gather at this instant: a transitive closure over MyProducers,
+// honouring the protocol's decline rule (a producer joins only if its
+// MyConsumers names the requester). With exact=true the measurement
+// shadows (ideal write signature) are used instead; Table 6.1 row 1
+// compares the two.
+func (r *Rebound) closureSize(initiator int, exact bool) int {
+	in := map[int]bool{initiator: true}
+	queue := []int{initiator}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		regs := r.m.Procs[q].Deps().Current()
+		producers := regs.MyProducers
+		if exact {
+			producers = regs.PExact
+		}
+		producers.ForEach(func(pr int) {
+			if in[pr] {
+				return
+			}
+			prRegs := r.m.Procs[pr].Deps().Current()
+			consumers := prRegs.MyConsumers
+			if exact {
+				consumers = prRegs.CExact
+			}
+			if !consumers.Test(q) {
+				return
+			}
+			in[pr] = true
+			queue = append(queue, pr)
+		})
+	}
+	return len(in)
+}
+
+// record appends a checkpoint record and returns its index.
+func (r *Rebound) record(rec stats.CkptRecord) int {
+	r.m.St.Checkpoints = append(r.m.St.Checkpoints, rec)
+	return len(r.m.St.Checkpoints) - 1
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func cfg(n int) machine.Config {
+	c := machine.DefaultConfig(n)
+	c.CkptInterval = 25_000
+	c.DetectLatency = 6_000
+	return c
+}
+
+func run(t *testing.T, n int, prof *workload.Profile, s machine.Scheme, instr uint64) *machine.Machine {
+	t.Helper()
+	m := machine.New(cfg(n), prof, s)
+	m.Run(instr)
+	m.FinalizeStats()
+	return m
+}
+
+func TestGlobalTakesCheckpoints(t *testing.T) {
+	m := run(t, 4, workload.Uniform(), NewGlobal(false), 500_000)
+	if len(m.St.Checkpoints) < 3 {
+		t.Fatalf("only %d global checkpoints", len(m.St.Checkpoints))
+	}
+	for _, c := range m.St.Checkpoints {
+		if c.Size != 4 || c.SizeExact != 4 {
+			t.Fatalf("global checkpoint size %d/%d, want 4/4", c.Size, c.SizeExact)
+		}
+		if c.End <= c.Start {
+			t.Fatalf("checkpoint has no duration: %+v", c)
+		}
+		if c.Lines == 0 {
+			t.Fatal("global checkpoint wrote no lines")
+		}
+	}
+	if m.St.L2WritebacksCkpt == 0 {
+		t.Fatal("no checkpoint writebacks counted")
+	}
+	wb, imb, _ := m.St.StallTotals()
+	if wb == 0 || imb == 0 {
+		t.Fatal("global checkpoint must stall processors (WBDelay/WBImbalance)")
+	}
+	m.CheckCoherence()
+}
+
+func TestGlobalDWBWritesBackInBackground(t *testing.T) {
+	m := run(t, 4, workload.Uniform(), NewGlobal(true), 500_000)
+	if len(m.St.Checkpoints) < 3 {
+		t.Fatalf("only %d checkpoints", len(m.St.Checkpoints))
+	}
+	if m.St.L2WritebacksBg == 0 {
+		t.Fatal("Global_DWB produced no background writebacks")
+	}
+	wb, _, _ := m.St.StallTotals()
+	if wb != 0 {
+		t.Fatalf("Global_DWB should not stall for writebacks, WBDelay=%d", wb)
+	}
+}
+
+func TestReboundTakesLocalCheckpoints(t *testing.T) {
+	prof := workload.ByName("Blackscholes") // low sharing: small ICHK
+	m := run(t, 8, prof, NewRebound(Options{DelayedWB: true}), 1_200_000)
+	if len(m.St.Checkpoints) < 5 {
+		t.Fatalf("only %d checkpoints", len(m.St.Checkpoints))
+	}
+	frac := m.St.AvgICHKFraction()
+	if frac <= 0 || frac > 0.8 {
+		t.Fatalf("Blackscholes ICHK fraction = %.2f, want small (clustered sharing)", frac)
+	}
+	for _, c := range m.St.Checkpoints {
+		if c.SizeStatic < c.SizeExact {
+			t.Fatalf("bloom closure %d smaller than exact closure %d: WSIG lost a dependence",
+				c.SizeStatic, c.SizeExact)
+		}
+	}
+	m.CheckCoherence()
+}
+
+func TestReboundBarrierAppsChainEveryone(t *testing.T) {
+	prof := workload.ByName("Ocean") // barrier every 15k instructions
+	m := run(t, 8, prof, NewRebound(Options{DelayedWB: true}), 1_000_000)
+	if len(m.St.Checkpoints) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	frac := m.St.AvgICHKFraction()
+	// The paper: barrier-heavy codes have ~100% interaction sets.
+	if frac < 0.7 {
+		t.Fatalf("Ocean ICHK fraction = %.2f, want near 1 (barriers chain all procs)", frac)
+	}
+}
+
+func TestReboundOverheadBelowGlobal(t *testing.T) {
+	prof := workload.ByName("FFT") // barriered + imbalanced
+	instr := uint64(1_500_000)
+	base := run(t, 8, prof, machine.NullScheme{}, instr)
+	glob := run(t, 8, prof, NewGlobal(false), instr)
+	rbnd := run(t, 8, prof, NewRebound(Options{DelayedWB: true}), instr)
+
+	ovh := func(m *machine.Machine) float64 {
+		return float64(m.St.EndCycle)/float64(base.St.EndCycle) - 1
+	}
+	og, or := ovh(glob), ovh(rbnd)
+	t.Logf("overhead: Global=%.3f Rebound=%.3f", og, or)
+	if og <= 0 {
+		t.Fatalf("Global overhead %.3f should be positive", og)
+	}
+	if or >= og {
+		t.Fatalf("Rebound overhead %.3f not below Global %.3f", or, og)
+	}
+}
+
+func TestReboundNoDWBStallsMoreThanDWB(t *testing.T) {
+	prof := workload.Uniform()
+	instr := uint64(800_000)
+	nodwb := run(t, 4, prof, NewRebound(Options{}), instr)
+	dwb := run(t, 4, prof, NewRebound(Options{DelayedWB: true}), instr)
+	wbN, _, _ := nodwb.St.StallTotals()
+	wbD, _, _ := dwb.St.StallTotals()
+	if wbN == 0 {
+		t.Fatal("Rebound_NoDWB should stall for writebacks")
+	}
+	if wbD != 0 {
+		t.Fatalf("Rebound (DWB) should not stall for writebacks, got %d", wbD)
+	}
+	if dwb.St.L2WritebacksBg == 0 {
+		t.Fatal("Rebound (DWB) produced no background writebacks")
+	}
+}
+
+func TestReboundFaultRecovery(t *testing.T) {
+	c := cfg(8)
+	prof := workload.Uniform()
+	prof.SharedFrac = 0.3
+	sch := NewRebound(Options{DelayedWB: true})
+	m := machine.New(c, prof, sch)
+
+	tainted := map[int]bool{}
+	m.OnTaint = func(p *machine.Proc) { tainted[p.ID()] = true }
+
+	// Let a few checkpoints happen, then inject a fault.
+	m.Run(900_000)
+	victim := m.Procs[2]
+	victim.InjectFault()
+	// Detection after (at most) L cycles.
+	m.After(c.DetectLatency/2, func() { sch.FaultDetected(victim) })
+	m.Run(900_000)
+	m.RunCycles(3_000_000) // let recovery settle
+	m.FinalizeStats()
+
+	if len(m.St.Rollbacks) == 0 {
+		t.Fatal("no rollback recorded")
+	}
+	rb := m.St.Rollbacks[0]
+	if rb.Restored == 0 || rb.End <= rb.Start {
+		t.Fatalf("rollback looks empty: %+v", rb)
+	}
+	members := map[int]bool{}
+	for _, id := range rb.Members {
+		members[id] = true
+	}
+	if !members[victim.ID()] {
+		t.Fatal("victim not in its own recovery set")
+	}
+	// Propagation coverage: every processor tainted before the rollback
+	// must be in the recovery interaction set.
+	for id := range tainted {
+		if !members[id] {
+			t.Fatalf("tainted proc %d missing from IREC %v", id, rb.Members)
+		}
+	}
+	if victim.Faulty() {
+		t.Fatal("fault not cleared by recovery")
+	}
+	if a, any := m.Ctrl.Memory().AnyPoison(); any {
+		t.Fatalf("poisoned line %#x survived recovery", a)
+	}
+	for _, p := range m.Procs {
+		if p.Tainted() && !members[p.ID()] {
+			t.Fatalf("proc %d still tainted and was never rolled back", p.ID())
+		}
+		if p.Tainted() {
+			t.Fatalf("proc %d tainted after recovery", p.ID())
+		}
+	}
+	m.CheckCoherence()
+}
+
+func TestGlobalFaultRecovery(t *testing.T) {
+	c := cfg(4)
+	sch := NewGlobal(false)
+	m := machine.New(c, workload.Uniform(), sch)
+	m.Run(400_000)
+	victim := m.Procs[1]
+	victim.InjectFault()
+	m.After(c.DetectLatency/2, func() { sch.FaultDetected(victim) })
+	m.Run(400_000)
+	m.RunCycles(3_000_000)
+
+	if len(m.St.Rollbacks) != 1 {
+		t.Fatalf("rollbacks = %d, want 1", len(m.St.Rollbacks))
+	}
+	if m.St.Rollbacks[0].Size != 4 {
+		t.Fatal("global rollback must include every processor")
+	}
+	if _, any := m.Ctrl.Memory().AnyPoison(); any {
+		t.Fatal("poison survived global recovery")
+	}
+	if victim.Faulty() {
+		t.Fatal("fault not cleared")
+	}
+}
+
+// No-domino bound (Appendix A): the farthest any processor rolls back
+// is bounded by L plus a small number of checkpoint intervals.
+func TestNoDominoBound(t *testing.T) {
+	c := cfg(4)
+	sch := NewRebound(Options{DelayedWB: true})
+	m := machine.New(c, workload.Uniform(), sch)
+	m.Run(800_000)
+	victim := m.Procs[0]
+	victim.InjectFault()
+	m.After(c.DetectLatency, func() { sch.FaultDetected(victim) })
+	m.Run(200_000)
+	m.RunCycles(3_000_000)
+
+	if len(m.St.Rollbacks) == 0 {
+		t.Fatal("no rollback recorded")
+	}
+	// Largest gap between successive checkpoint completions seen in the
+	// run bounds the interval in cycles.
+	var maxGap, last uint64
+	for _, ck := range m.St.Checkpoints {
+		if ck.End == 0 {
+			continue
+		}
+		if last != 0 && uint64(ck.End)-last > maxGap {
+			maxGap = uint64(ck.End) - last
+		}
+		last = uint64(ck.End)
+	}
+	bound := uint64(c.DetectLatency) + 4*maxGap + 100_000
+	for _, rb := range m.St.Rollbacks {
+		if uint64(rb.MaxRollbackCycles) > bound {
+			t.Fatalf("rollback distance %d exceeds no-domino bound %d",
+				rb.MaxRollbackCycles, bound)
+		}
+	}
+}
+
+func TestBarrierOptimizationCheckpointsAtBarriers(t *testing.T) {
+	prof := workload.ByName("Ocean")
+	m := run(t, 8, prof, NewRebound(Options{BarrierOpt: true}), 1_200_000)
+	barr := 0
+	for _, ck := range m.St.Checkpoints {
+		if ck.Barrier {
+			barr++
+		}
+	}
+	if barr == 0 {
+		t.Fatal("barrier optimisation never produced a barrier checkpoint")
+	}
+	if m.St.L2WritebacksBg == 0 {
+		t.Fatal("barrier checkpoints must write back in the background")
+	}
+}
+
+func TestBarrierOptimizationReducesOverhead(t *testing.T) {
+	prof := workload.ByName("Ocean")
+	instr := uint64(1_200_000)
+	base := run(t, 8, prof, machine.NullScheme{}, instr)
+	plain := run(t, 8, prof, NewRebound(Options{}), instr)
+	barr := run(t, 8, prof, NewRebound(Options{BarrierOpt: true}), instr)
+	op := float64(plain.St.EndCycle)/float64(base.St.EndCycle) - 1
+	ob := float64(barr.St.EndCycle)/float64(base.St.EndCycle) - 1
+	t.Logf("overhead: Rebound_NoDWB=%.3f Rebound_NoDWB_Barr=%.3f", op, ob)
+	if ob >= op {
+		t.Fatalf("barrier optimisation did not reduce overhead (%.3f vs %.3f)", ob, op)
+	}
+}
+
+func TestOutputIOForcesCheckpoint(t *testing.T) {
+	prof := workload.Uniform()
+	prof.IOPeriod = 30_000
+	m := run(t, 4, prof, NewRebound(Options{DelayedWB: true}), 600_000)
+	io := 0
+	for _, ck := range m.St.Checkpoints {
+		if ck.IO {
+			io++
+		}
+	}
+	if io == 0 {
+		t.Fatal("output I/O never forced a checkpoint")
+	}
+}
+
+func TestOutputIOHurtsGlobalMore(t *testing.T) {
+	prof := workload.ByName("Blackscholes")
+	prof.IOPeriod = 40_000 // one core's I/O cadence applies to all cores here
+	instr := uint64(800_000)
+	glob := run(t, 8, prof, NewGlobal(false), instr)
+	rbnd := run(t, 8, prof, NewRebound(Options{DelayedWB: true}), instr)
+	gi := glob.St.AvgCheckpointInterval()
+	ri := rbnd.St.AvgCheckpointInterval()
+	t.Logf("avg checkpoint interval: Global=%.0f Rebound=%.0f", gi, ri)
+	// Rebound checkpoints only the I/O processor's small set, so the
+	// average per-processor interval stays much longer (Fig 6.7).
+	if ri <= gi {
+		t.Fatalf("Rebound interval %.0f not longer than Global %.0f under I/O", ri, gi)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	names := map[string]machine.Scheme{
+		"Global":             NewGlobal(false),
+		"Global_DWB":         NewGlobal(true),
+		"Rebound":            NewRebound(Options{DelayedWB: true}),
+		"Rebound_NoDWB":      NewRebound(Options{}),
+		"Rebound_Barr":       NewRebound(Options{DelayedWB: true, BarrierOpt: true}),
+		"Rebound_NoDWB_Barr": NewRebound(Options{BarrierOpt: true}),
+	}
+	for want, s := range names {
+		if got := s.Name(); got != want {
+			t.Fatalf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestReboundDeterministic(t *testing.T) {
+	one := func() uint64 {
+		m := run(t, 4, workload.ByName("Ocean"), NewRebound(Options{DelayedWB: true}), 400_000)
+		return uint64(m.St.EndCycle)
+	}
+	if a, b := one(), one(); a != b {
+		t.Fatalf("non-deterministic Rebound run: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// Edge cases of the distributed protocols.
+
+func TestConcurrentInitiatorsResolve(t *testing.T) {
+	// A heavily coupled workload makes many processors expire their
+	// intervals nearly simultaneously; the Busy/backoff arbitration must
+	// keep converging to completed checkpoints, not livelock.
+	prof := workload.ByName("Radix") // barriered: everyone expires together
+	m := run(t, 8, prof, NewRebound(Options{DelayedWB: true}), 1_000_000)
+	if len(m.St.Checkpoints) < 3 {
+		t.Fatalf("only %d checkpoints completed under contention", len(m.St.Checkpoints))
+	}
+	for _, ck := range m.St.Checkpoints {
+		if ck.End == 0 {
+			t.Fatal("a checkpoint never completed")
+		}
+	}
+}
+
+func TestDepSetPressureStallsButProgresses(t *testing.T) {
+	// Two Dep register sets with a large L: new intervals cannot open
+	// until old checkpoints age past L, so processors stall — but the
+	// run must still complete.
+	c := cfg(4)
+	c.DepSets = 2
+	c.DetectLatency = 250_000 // far beyond the interval in cycles
+	m := machine.New(c, workload.Uniform(), NewRebound(Options{}))
+	m.Run(400_000)
+	m.FinalizeStats()
+	if len(m.St.Checkpoints) == 0 {
+		t.Fatal("no checkpoints under dep-set pressure")
+	}
+	if m.St.DepStallCycles == 0 {
+		t.Fatal("expected Dep register stalls with 2 sets and a huge L")
+	}
+}
+
+func TestFaultDuringCheckpointAborts(t *testing.T) {
+	// Inject the fault exactly while checkpoints are being collected /
+	// written: the checkpoint must abort (§3.3.4) and recovery must
+	// still complete.
+	c := cfg(8)
+	prof := workload.Uniform()
+	prof.SharedFrac = 0.3
+	sch := NewRebound(Options{DelayedWB: true})
+	m := machine.New(c, prof, sch)
+	m.Run(8 * c.CkptInterval * 9 / 10) // just before the first expiry wave
+	victim := m.Procs[3]
+	victim.InjectFault()
+	// Detection lands mid-checkpoint with high probability.
+	m.After(c.DetectLatency/4, func() { sch.FaultDetected(victim) })
+	m.Run(600_000)
+	m.RunCycles(5_000_000)
+	if len(m.St.Rollbacks) == 0 {
+		t.Fatal("no rollback")
+	}
+	if victim.Faulty() {
+		t.Fatal("fault survived")
+	}
+	if _, any := m.Ctrl.Memory().AnyPoison(); any {
+		t.Fatal("poison survived abort-and-recover")
+	}
+	// The machine keeps taking checkpoints afterwards.
+	before := len(m.St.Checkpoints)
+	m.Run(400_000)
+	if len(m.St.Checkpoints) <= before {
+		t.Fatal("no checkpoints after aborted one")
+	}
+	m.CheckCoherence()
+}
+
+func TestTwoFaultsBackToBack(t *testing.T) {
+	c := cfg(4)
+	sch := NewRebound(Options{DelayedWB: true})
+	m := machine.New(c, workload.Uniform(), sch)
+	m.Run(300_000)
+	a, b := m.Procs[0], m.Procs[2]
+	a.InjectFault()
+	b.InjectFault()
+	// Both detected within a short window: the rollback protocols must
+	// arbitrate (Busy + backoff) and both recover.
+	m.After(1_000, func() { sch.FaultDetected(a) })
+	m.After(1_800, func() { sch.FaultDetected(b) })
+	m.Run(600_000)
+	m.RunCycles(8_000_000)
+	if a.Faulty() || b.Faulty() {
+		t.Fatal("a fault survived the double recovery")
+	}
+	if _, any := m.Ctrl.Memory().AnyPoison(); any {
+		t.Fatal("poison survived double recovery")
+	}
+	if len(m.St.Rollbacks) == 0 {
+		t.Fatal("no rollbacks recorded")
+	}
+}
+
+func TestIOCheckpointsOnlySmallSet(t *testing.T) {
+	prof := workload.ByName("Blackscholes")
+	c := cfg(16)
+	sch := NewRebound(Options{DelayedWB: true})
+	ioProf := *prof
+	ioProf.IOPeriod = 12_000
+	ioProf.IOCore = 1
+	m := machine.New(c, &ioProf, sch)
+	m.Run(1_000_000)
+	m.FinalizeStats()
+	ioCk, ioSize := 0, 0
+	for _, ck := range m.St.Checkpoints {
+		if ck.IO {
+			ioCk++
+			ioSize += ck.Size
+		}
+	}
+	if ioCk == 0 {
+		t.Fatal("no I/O checkpoints")
+	}
+	if avg := float64(ioSize) / float64(ioCk); avg > 12 {
+		t.Fatalf("I/O checkpoints average %.1f of 16 procs; should be a small set", avg)
+	}
+}
+
+func TestGlobalSchemeSurvivesIOAndFaultMix(t *testing.T) {
+	prof := workload.Uniform()
+	prof.IOPeriod = 20_000
+	c := cfg(4)
+	sch := NewGlobal(true)
+	m := machine.New(c, prof, sch)
+	m.Run(200_000)
+	m.Procs[1].InjectFault()
+	m.After(c.DetectLatency/2, func() { sch.FaultDetected(m.Procs[1]) })
+	m.Run(600_000)
+	m.RunCycles(8_000_000)
+	if m.Procs[1].Faulty() {
+		t.Fatal("fault survived")
+	}
+	if _, any := m.Ctrl.Memory().AnyPoison(); any {
+		t.Fatal("poison survived")
+	}
+	before := m.TotalInstructions()
+	m.Run(100_000)
+	if m.TotalInstructions() == before {
+		t.Fatal("machine wedged after I/O + fault mix")
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Global is the ReVive-style global checkpointing baseline: at every
+// checkpoint interval an interrupt stops all processors, they write
+// back their dirty lines and register state, synchronise and resume
+// (Chapter 5). Global_DWB adds the delayed-writebacks optimisation to
+// the same global scheme (evaluated in Fig 6.3).
+type Global struct {
+	m   *machine.Machine
+	dwb bool
+
+	active    bool
+	rolling   bool
+	aborted   bool
+	pendingIO []func()
+}
+
+// NewGlobal returns the Global baseline; dwb selects Global_DWB.
+func NewGlobal(dwb bool) *Global { return &Global{dwb: dwb} }
+
+// Name implements machine.Scheme.
+func (g *Global) Name() string {
+	if g.dwb {
+		return "Global_DWB"
+	}
+	return "Global"
+}
+
+// Attach implements machine.Scheme.
+func (g *Global) Attach(m *machine.Machine) { g.m = m }
+
+// IntervalExpired implements machine.Scheme: the first processor to
+// reach the interval triggers the system-wide checkpoint.
+func (g *Global) IntervalExpired(p *machine.Proc) {
+	if g.active || g.rolling {
+		return
+	}
+	g.runCheckpoint()
+}
+
+// OutputIO implements machine.Scheme: output I/O forces a global
+// checkpoint first (this is what makes Global expensive on I/O-
+// intensive loads, §6.4).
+func (g *Global) OutputIO(p *machine.Proc, resume func()) {
+	g.pendingIO = append(g.pendingIO, resume)
+	if !g.active && !g.rolling {
+		g.runCheckpoint()
+	}
+}
+
+// BarrierUpdate implements machine.Scheme (no barrier optimisation).
+func (g *Global) BarrierUpdate(*machine.Proc, bool) {}
+
+// BarrierRelease implements machine.Scheme.
+func (g *Global) BarrierRelease(_ *machine.Proc, proceed func()) { proceed() }
+
+func (g *Global) fireIO() {
+	io := g.pendingIO
+	g.pendingIO = nil
+	for _, fn := range io {
+		fn()
+	}
+}
+
+func (g *Global) runCheckpoint() {
+	g.active = true
+	g.aborted = false
+	m := g.m
+	start := m.Now()
+	for _, p := range m.Procs {
+		p.InCkpt = true
+	}
+	recIdx := len(m.St.Checkpoints)
+	m.St.Checkpoints = append(m.St.Checkpoints, stats.CkptRecord{
+		Initiator:  -1,
+		Size:       m.Cfg.NProcs,
+		SizeStatic: m.Cfg.NProcs,
+		SizeExact:  m.Cfg.NProcs,
+		Start:      start,
+	})
+
+	pausedAt := make([]sim.Cycle, m.Cfg.NProcs)
+	n := 0
+	for _, p := range m.Procs {
+		p := p
+		p.RequestPause(func() {
+			pausedAt[p.ID()] = m.Now()
+			n++
+			if n == m.Cfg.NProcs {
+				g.writeback(recIdx, start, pausedAt)
+			}
+		})
+	}
+}
+
+func (g *Global) writeback(recIdx int, start sim.Cycle, pausedAt []sim.Cycle) {
+	m := g.m
+	m.Ctrl.Log().Stub(m.Now())
+	wbStart := m.Now()
+	var lines uint64
+
+	if g.dwb {
+		// Global with delayed writebacks: mark, resume everyone, drain
+		// in the background; the checkpoint completes when the last
+		// drain has ended AND every processor has reopened its next
+		// interval — only then can a new checkpoint start.
+		left := 2 * m.Cfg.NProcs
+		done := func() {
+			left--
+			if left == 0 && !g.aborted {
+				g.finish(recIdx, lines)
+			}
+		}
+		for _, p := range m.Procs {
+			p := p
+			rec := p.BeginCheckpoint()
+			lines += p.MarkDelayed()
+			p.StartDrain(func() {
+				p.FinishCheckpoint(rec)
+				done()
+			})
+			p.OpenNextEpoch(func() {
+				m.St.SyncDelay[p.ID()] += uint64(m.Now() - pausedAt[p.ID()])
+				p.InCkpt = false
+				p.Resume()
+				done()
+			})
+		}
+		return
+	}
+
+	// Plain Global: everyone stalls for the writebacks, then the final
+	// synchronisation releases all processors together (Fig 4.1a).
+	type pair struct {
+		p        *machine.Proc
+		rec      *machine.CkptRec
+		wbDoneAt sim.Cycle
+	}
+	pairs := make([]*pair, 0, m.Cfg.NProcs)
+	left := m.Cfg.NProcs
+	for _, p := range m.Procs {
+		p := p
+		pr := &pair{p: p, rec: p.BeginCheckpoint()}
+		pairs = append(pairs, pr)
+		lines += p.WritebackAllForeground(func() {
+			m.St.WBDelay[p.ID()] += uint64(m.Now() - wbStart)
+			pr.wbDoneAt = m.Now()
+			p.FinishCheckpoint(pr.rec)
+			left--
+			if g.aborted {
+				return // rollback owns the processors now
+			}
+			if left == 0 {
+				now := m.Now()
+				reopened := len(pairs)
+				for _, q := range pairs {
+					id := q.p.ID()
+					m.St.WBImbalance[id] += uint64(now - q.wbDoneAt)
+					if wbStart > pausedAt[id] {
+						m.St.SyncDelay[id] += uint64(wbStart - pausedAt[id])
+					}
+					qp := q.p
+					qp.OpenNextEpoch(func() {
+						qp.InCkpt = false
+						qp.Resume()
+						reopened--
+						if reopened == 0 {
+							// Only now may the next checkpoint start.
+							g.finish(recIdx, lines)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+func (g *Global) finish(recIdx int, lines uint64) {
+	g.active = false
+	rec := &g.m.St.Checkpoints[recIdx]
+	rec.End = g.m.Now()
+	rec.Lines = lines
+	g.fireIO()
+}
+
+// FaultDetected implements machine.Scheme: Global recovery rolls back
+// every processor in the system.
+func (g *Global) FaultDetected(p *machine.Proc) {
+	if g.rolling {
+		return
+	}
+	g.rolling = true
+	g.aborted = true // aborts any in-flight checkpoint (§3.3.4)
+	m := g.m
+	start := m.Now()
+	for _, q := range m.Procs {
+		q.InCkpt = true
+	}
+	n := 0
+	pausedAt := make([]sim.Cycle, m.Cfg.NProcs)
+	for _, q := range m.Procs {
+		q := q
+		q.RequestPause(func() {
+			pausedAt[q.ID()] = m.Now()
+			n++
+			if n != m.Cfg.NProcs {
+				return
+			}
+			_, restored, done := m.RollbackProcs(m.Procs)
+			m.St.Rollbacks = append(m.St.Rollbacks, stats.RollRecord{
+				Initiator: p.ID(),
+				Size:      m.Cfg.NProcs,
+				Start:     start,
+				End:       done,
+				Restored:  restored,
+			})
+			m.Eng.At(done, func() {
+				for _, z := range m.Procs {
+					m.St.RollStall[z.ID()] += uint64(m.Now() - pausedAt[z.ID()])
+					z.InCkpt = false
+					z.Resume()
+				}
+				g.pendingIO = nil // stale after rollback
+				g.rolling = false
+				g.active = false
+			})
+		})
+	}
+}
+
+var _ machine.Scheme = (*Global)(nil)
+var _ machine.Scheme = (*Rebound)(nil)

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// rollOp is one run of the distributed rollback protocol (§3.3.5,
+// refined by §4.2): the initiator collects the Interaction Set for
+// Recovery (IREC) transitively through the MyConsumers of every
+// interval being rolled back, then the whole set restores from the log.
+type rollOp struct {
+	r         *Rebound
+	initiator int
+
+	collecting bool
+	members    map[int]bool
+	contacted  map[int]bool
+	pending    int
+	busyHit    bool
+
+	start sim.Cycle
+}
+
+// orderedMembers returns member ids in ascending order (determinism).
+func (op *rollOp) orderedMembers() []int {
+	ids := make([]int, 0, len(op.members))
+	for id := range op.members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (r *Rebound) startRollback(ps *pstate) {
+	if ps.rop != nil {
+		return // already rolling back
+	}
+	// A fault detected while checkpointing aborts the checkpoint
+	// (§3.3.4).
+	if ps.cop != nil {
+		r.abortCkpt(ps.cop)
+		ps.cop = nil
+	}
+	r.detachFromBarCk(ps)
+	op := &rollOp{
+		r:          r,
+		initiator:  ps.p.ID(),
+		collecting: true,
+		members:    map[int]bool{ps.p.ID(): true},
+		contacted:  map[int]bool{ps.p.ID(): true},
+		start:      r.m.Now(),
+	}
+	ps.rop = op
+	r.setBusy(ps, true)
+	ps.p.RequestPause(func() {
+		ps.pausedAt = r.m.Now()
+		op.expand(ps.p.ID())
+		op.maybeExecute()
+	})
+}
+
+// expand sends Roll? to every consumer of the intervals member q will
+// roll back (the OR of the MyConsumers of all epochs from its rollback
+// target onwards, §4.2).
+func (op *rollOp) expand(q int) {
+	r := op.r
+	p := r.m.Procs[q]
+	target := p.LatestSafeCkpt()
+	p.Deps().ConsumersFrom(target.OpenedEpoch).ForEach(func(c int) {
+		if op.contacted[c] {
+			return
+		}
+		op.contacted[c] = true
+		op.pending++
+		r.m.Send(q, c, func() { r.onRoll(op, c, q) })
+	})
+}
+
+// onRoll handles a Roll? request at processor c, sent by producer q.
+func (r *Rebound) onRoll(op *rollOp, c, q int) {
+	cs := r.ps[c]
+	reply := func(fn func()) { r.m.Send(c, op.initiator, fn) }
+	if cs.rop == op {
+		// Cyclic dependence: already a member.
+		reply(func() { op.onReply(false) })
+		return
+	}
+	if cs.rop != nil {
+		// Independent rollback in progress: Busy (§3.3.5).
+		reply(func() { op.onBusy() })
+		return
+	}
+	// Decline if c no longer shows q as a producer in any live interval
+	// (it rolled back independently and cleared its MyProducers).
+	producer := false
+	for _, s := range cs.p.Deps().Live() {
+		if s.MyProducers.Test(q) {
+			producer = true
+			break
+		}
+	}
+	if !producer {
+		reply(func() { op.onReply(false) })
+		return
+	}
+	// A rollback preempts any checkpoint c participates in.
+	if cs.cop != nil {
+		r.abortCkpt(cs.cop)
+		cs.cop = nil
+	}
+	r.detachFromBarCk(cs)
+	cs.rop = op
+	r.setBusy(cs, true)
+	cs.p.RequestPause(func() {
+		cs.pausedAt = r.m.Now()
+		reply(func() { op.onAccept(c) })
+	})
+}
+
+func (op *rollOp) onAccept(c int) {
+	op.pending--
+	if op.r.ps[c].rop == op {
+		op.members[c] = true
+		op.expand(c)
+	}
+	op.maybeExecute()
+}
+
+func (op *rollOp) onReply(busy bool) {
+	op.pending--
+	op.maybeExecute()
+}
+
+func (op *rollOp) onBusy() {
+	op.pending--
+	op.busyHit = true
+	op.maybeExecute()
+}
+
+func (op *rollOp) maybeExecute() {
+	if !op.collecting || op.pending > 0 {
+		return
+	}
+	op.collecting = false
+	r := op.r
+	if op.busyHit {
+		// Two rollbacks collided: release and retry after a random
+		// backoff. The fault is still pending at the initiator.
+		init := op.initiator
+		for _, id := range op.orderedMembers() {
+			ps := r.ps[id]
+			if ps.rop != op {
+				continue
+			}
+			ps.rop = nil
+			r.setBusy(ps, false)
+			ps.p.Resume()
+			r.releaseHook(ps)
+		}
+		r.m.After(r.backoff(), func() { r.startRollback(r.ps[init]) })
+		return
+	}
+	op.execute()
+}
+
+// execute restores the whole interaction set: the log rewinds memory
+// (reverse order, per-processor epochs), caches are invalidated,
+// register state restored; everyone resumes when the restoration
+// traffic finishes.
+func (op *rollOp) execute() {
+	r := op.r
+	procs := make([]*machine.Proc, 0, len(op.members))
+	ids := op.orderedMembers()
+	maxDist := sim.Cycle(0)
+	for _, id := range ids {
+		p := r.m.Procs[id]
+		procs = append(procs, p)
+		if rec := p.LatestSafeCkpt(); rec.CompletedAt != ^sim.Cycle(0) {
+			if d := r.m.Now() - rec.CompletedAt; d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	_, restored, done := r.m.RollbackProcs(procs)
+	r.m.St.Rollbacks = append(r.m.St.Rollbacks, stats.RollRecord{
+		Initiator:         op.initiator,
+		Members:           ids,
+		Size:              len(op.members),
+		Start:             op.start,
+		End:               done,
+		Restored:          restored,
+		MaxRollbackCycles: maxDist,
+	})
+	r.m.Eng.At(done, func() {
+		for _, id := range op.orderedMembers() {
+			ps := r.ps[id]
+			r.m.St.RollStall[id] += uint64(r.m.Now() - ps.pausedAt)
+			ps.rop = nil
+			r.setBusy(ps, false)
+			ps.retryNotBefore = r.m.Now() + r.backoff()
+			// A pending I/O continuation is stale after rollback: the
+			// processor re-executes the I/O op from its snapshot.
+			ps.ioResume = nil
+			ps.p.Resume()
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package dep
+
+import "testing"
+
+func newT() *Tracker { return NewTracker(4, 1024, 4) }
+
+func TestNewTrackerOpensEpochZero(t *testing.T) {
+	tr := newT()
+	if tr.LiveCount() != 1 || tr.Current().Epoch != 0 {
+		t.Fatal("tracker should start with epoch 0 open")
+	}
+	if tr.Capacity() != 4 {
+		t.Fatal("capacity wrong")
+	}
+}
+
+func TestTooFewSetsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 1 should panic")
+		}
+	}()
+	NewTracker(1, 512, 4)
+}
+
+func TestOpenUntilStall(t *testing.T) {
+	tr := newT()
+	for e := uint64(1); e < 4; e++ {
+		if !tr.Open(e) {
+			t.Fatalf("Open(%d) failed with free sets available", e)
+		}
+	}
+	if tr.CanOpen() {
+		t.Fatal("CanOpen should be false at capacity")
+	}
+	if tr.Open(4) {
+		t.Fatal("Open beyond capacity must fail (processor stalls)")
+	}
+	// Release the oldest; now a new epoch can open.
+	tr.Release(0)
+	if !tr.Open(4) {
+		t.Fatal("Open after Release failed")
+	}
+	if tr.Oldest().Epoch != 1 || tr.Current().Epoch != 4 {
+		t.Fatalf("ring order wrong: oldest %d current %d", tr.Oldest().Epoch, tr.Current().Epoch)
+	}
+}
+
+func TestOpenNonMonotonicPanics(t *testing.T) {
+	tr := newT()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-opening epoch 0 should panic")
+		}
+	}()
+	tr.Open(0)
+}
+
+func TestReleaseGuards(t *testing.T) {
+	tr := newT()
+	func() {
+		defer func() { recover() }()
+		tr.Release(0)
+		t.Fatal("releasing the only live set should panic")
+	}()
+	tr.Open(1)
+	func() {
+		defer func() { recover() }()
+		tr.Release(1) // oldest is 0
+		t.Fatal("releasing a non-oldest epoch should panic")
+	}()
+}
+
+func TestByEpochAndClear(t *testing.T) {
+	tr := newT()
+	tr.Current().MyProducers.Set(3)
+	tr.Current().WSIG.Insert(99)
+	tr.Open(1)
+	if tr.ByEpoch(0) == nil || tr.ByEpoch(1) == nil || tr.ByEpoch(2) != nil {
+		t.Fatal("ByEpoch lookup wrong")
+	}
+	if !tr.ByEpoch(0).MyProducers.Test(3) {
+		t.Fatal("old epoch content lost on Open")
+	}
+	if tr.Current().MyProducers.Test(3) || tr.Current().WSIG.Test(99) && tr.Current().WSIG.TestExact(99) {
+		t.Fatal("new epoch's set not cleared")
+	}
+	// Recycled sets are cleared too.
+	tr.Open(2)
+	tr.Open(3)
+	tr.Release(0)
+	tr.Open(4)
+	s := tr.ByEpoch(4)
+	if s.MyProducers.Test(3) || s.WSIG.TestExact(99) {
+		t.Fatal("recycled set retains stale contents")
+	}
+}
+
+func TestLastWriterEpochReverseAge(t *testing.T) {
+	tr := newT()
+	tr.Current().WSIG.Insert(7) // epoch 0
+	tr.Open(1)
+	tr.Current().WSIG.Insert(7) // epoch 1 too
+	tr.Open(2)                  // epoch 2: not written
+	if e, ok := tr.LastWriterEpoch(7); !ok || e != 1 {
+		t.Fatalf("LastWriterEpoch = (%d,%v), want (1,true): newest match wins", e, ok)
+	}
+	if e, ok := tr.LastWriterEpochExact(7); !ok || e != 1 {
+		t.Fatalf("exact variant = (%d,%v), want (1,true)", e, ok)
+	}
+	if _, ok := tr.LastWriterEpoch(8); ok {
+		t.Fatal("unwritten line matched")
+	}
+}
+
+func TestConsumersFrom(t *testing.T) {
+	tr := newT()
+	tr.Current().MyConsumers.Set(1) // epoch 0
+	tr.Open(1)
+	tr.Current().MyConsumers.Set(2) // epoch 1
+	tr.Open(2)
+	tr.Current().MyConsumers.Set(3) // epoch 2
+	got := tr.ConsumersFrom(1)
+	if got.Test(1) || !got.Test(2) || !got.Test(3) {
+		t.Fatalf("ConsumersFrom(1) = %v, want {2, 3}", got)
+	}
+	all := tr.ConsumersFrom(0)
+	if all.Count() != 3 {
+		t.Fatalf("ConsumersFrom(0) = %v, want 3 procs", all)
+	}
+}
+
+func TestReleaseAllButCurrentAndReset(t *testing.T) {
+	tr := newT()
+	tr.Open(1)
+	tr.Open(2)
+	tr.Current().MyConsumers.Set(5)
+	tr.ReleaseAllButCurrent()
+	if tr.LiveCount() != 1 || tr.Current().Epoch != 2 {
+		t.Fatal("ReleaseAllButCurrent kept extra sets")
+	}
+	tr.ResetCurrent(7)
+	if tr.Current().Epoch != 7 || tr.Current().MyConsumers.Test(5) {
+		t.Fatal("ResetCurrent did not clear")
+	}
+	if !tr.CanOpen() {
+		t.Fatal("sets not returned to free list")
+	}
+}
+
+func TestFalsePositiveStatsAggregates(t *testing.T) {
+	tr := newT()
+	tr.Current().WSIG.Insert(1)
+	tr.Current().WSIG.Test(1)
+	tr.Open(1)
+	tr.Current().WSIG.Test(2)
+	tests, _ := tr.FalsePositiveStats()
+	if tests != 2 {
+		t.Fatalf("aggregated tests = %d, want 2", tests)
+	}
+}

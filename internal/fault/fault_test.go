@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func cfg(n int) machine.Config {
+	c := machine.DefaultConfig(n)
+	c.CkptInterval = 25_000
+	c.DetectLatency = 6_000
+	return c
+}
+
+func TestInjectAtAndVerify(t *testing.T) {
+	c := cfg(4)
+	sch := core.NewRebound(core.Options{DelayedWB: true})
+	m := machine.New(c, workload.Uniform(), sch)
+	inj := NewInjector(m, 9)
+	m.Run(400_000)
+	inj.InjectAt(m.Now()+1_000, 2, c.DetectLatency/2)
+	m.Run(400_000)
+	m.RunCycles(3_000_000)
+	if inj.Injected != 1 || inj.Detected != 1 {
+		t.Fatalf("injected=%d detected=%d", inj.Injected, inj.Detected)
+	}
+	if len(m.St.Rollbacks) == 0 {
+		t.Fatal("fault did not trigger a rollback")
+	}
+	if err := inj.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomFaultStorm(t *testing.T) {
+	c := cfg(8)
+	prof := workload.Uniform()
+	prof.SharedFrac = 0.3
+	sch := core.NewRebound(core.Options{DelayedWB: true})
+	m := machine.New(c, prof, sch)
+	inj := NewInjector(m, 4)
+	m.Run(300_000)
+	inj.InjectRandom(4, 600_000)
+	m.Run(2_500_000)
+	m.RunCycles(6_000_000)
+	if inj.Injected != 4 {
+		t.Fatalf("injected = %d, want 4", inj.Injected)
+	}
+	if len(m.St.Rollbacks) == 0 {
+		t.Fatal("no rollbacks under a fault storm")
+	}
+	if err := inj.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	m.CheckCoherence()
+}
+
+func TestFaultStormUnderGlobal(t *testing.T) {
+	c := cfg(4)
+	sch := core.NewGlobal(false)
+	m := machine.New(c, workload.Uniform(), sch)
+	inj := NewInjector(m, 11)
+	m.Run(200_000)
+	inj.InjectRandom(2, 300_000)
+	m.Run(1_200_000)
+	m.RunCycles(6_000_000)
+	if err := inj.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultDuringBarrierOptimization(t *testing.T) {
+	c := cfg(8)
+	prof := workload.ByName("Ocean")
+	sch := core.NewRebound(core.Options{DelayedWB: true, BarrierOpt: true})
+	m := machine.New(c, prof, sch)
+	inj := NewInjector(m, 5)
+	m.Run(300_000)
+	inj.InjectRandom(2, 400_000)
+	m.Run(2_000_000)
+	m.RunCycles(8_000_000)
+	if err := inj.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The machine must still be making progress after recovery.
+	before := m.TotalInstructions()
+	m.Run(100_000)
+	if m.TotalInstructions() == before {
+		t.Fatal("machine wedged after fault recovery")
+	}
+}
+
+func TestVerifyCatchesUnhandledFault(t *testing.T) {
+	c := cfg(2)
+	m := machine.New(c, workload.Uniform(), machine.NullScheme{})
+	inj := NewInjector(m, 3)
+	m.Run(50_000)
+	inj.InjectAt(m.Now()+100, 0, 1_000)
+	m.Run(200_000)
+	if err := inj.Verify(); err == nil {
+		t.Fatal("Verify should fail when no scheme recovers the fault")
+	}
+}

@@ -1,0 +1,45 @@
+package harness
+
+import "testing"
+
+func TestAblationWSIGSmallFilterHasMoreFPs(t *testing.T) {
+	td := AblationWSIG(Quick, "Water-Nsq")
+	if len(td.Rows) != 5 {
+		t.Fatalf("rows = %d", len(td.Rows))
+	}
+	fpTiny := td.Rows[0].Values[0] // 128 bits
+	fpBig := td.Rows[4].Values[0]  // 2048 bits
+	if fpTiny <= fpBig {
+		t.Fatalf("128-bit FP rate (%.2f%%) should exceed 2048-bit (%.2f%%)", fpTiny, fpBig)
+	}
+	// ICHK with bloom is never below the exact closure.
+	for _, r := range td.Rows {
+		if r.Values[1] < r.Values[2]-0.01 {
+			t.Fatalf("%s: bloom ICHK %.1f%% below exact %.1f%%", r.Label, r.Values[1], r.Values[2])
+		}
+	}
+}
+
+func TestAblationFirstWBReducesLogTraffic(t *testing.T) {
+	td := AblationFirstWB(Quick, "Uniform")
+	optEntries := td.Rows[0].Values[0]
+	allEntries := td.Rows[1].Values[0]
+	if optEntries >= allEntries {
+		t.Fatalf("first-WB optimisation did not reduce log entries (%.0fk vs %.0fk)",
+			optEntries, allEntries)
+	}
+}
+
+func TestAblationDepSetsStallWithTwo(t *testing.T) {
+	td := AblationDepSets(Quick, "Uniform")
+	two := td.Rows[0]
+	four := td.Rows[2]
+	// With only 2 sets and a non-trivial L, stalls must appear and the
+	// overhead must not improve relative to 4 sets.
+	if two.Values[1] == 0 {
+		t.Log("no dep stalls with 2 sets at this scale (acceptable, but unusual)")
+	}
+	if two.Values[0]+0.01 < four.Values[0] {
+		t.Fatalf("2 sets (%.2f%%) outperformed 4 sets (%.2f%%)", two.Values[0], four.Values[0])
+	}
+}

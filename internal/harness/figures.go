@@ -1,0 +1,331 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// Fig61 reproduces Figure 6.1: the average Interaction Set for
+// Checkpointing of Rebound on PARSEC and Apache (paper: 24-processor
+// runs), as a percentage of the processor count.
+func Fig61(sc Scale) TableData {
+	t := TableData{
+		Title:   fmt.Sprintf("Figure 6.1: avg ICHK size, PARSEC+Apache, %d procs (Rebound)", sc.ProcsSmall),
+		Unit:    "% of processors",
+		Columns: []string{"ICHK"},
+	}
+	for _, app := range parsecApps() {
+		res := RunCached(Spec{App: app, Procs: sc.ProcsSmall, Scheme: "Rebound", Scale: sc})
+		t.Rows = append(t.Rows, TableRow{Label: app,
+			Values: []float64{res.St.AvgICHKFraction() * 100}})
+	}
+	t.Rows = append(t.Rows, avgRow(t.Rows))
+	return t
+}
+
+// Fig62 reproduces Figure 6.2: the average ICHK of Rebound on SPLASH-2
+// at half- and full-size machines (paper: 32 and 64 processors).
+func Fig62(sc Scale) []TableData {
+	var out []TableData
+	for _, procs := range []int{sc.ProcsLarge / 2, sc.ProcsLarge} {
+		t := TableData{
+			Title:   fmt.Sprintf("Figure 6.2: avg ICHK size, SPLASH-2, %d procs (Rebound)", procs),
+			Unit:    "% of processors",
+			Columns: []string{"ICHK"},
+		}
+		for _, app := range splashApps() {
+			res := RunCached(Spec{App: app, Procs: procs, Scheme: "Rebound", Scale: sc})
+			t.Rows = append(t.Rows, TableRow{Label: app,
+				Values: []float64{res.St.AvgICHKFraction() * 100}})
+		}
+		t.Rows = append(t.Rows, avgRow(t.Rows))
+		out = append(out, t)
+	}
+	return out
+}
+
+var fig63Schemes = []string{"Global", "Global_DWB", "Rebound_NoDWB", "Rebound"}
+
+// Fig63 reproduces Figure 6.3: error-free checkpointing overhead of
+// Global, Global_DWB, Rebound_NoDWB and Rebound, on SPLASH-2 (large
+// machine) and PARSEC/Apache (small machine).
+func Fig63(sc Scale) []TableData {
+	var out []TableData
+	groups := []struct {
+		title string
+		apps  []string
+		procs int
+	}{
+		{"Figure 6.3(a): checkpoint overhead, SPLASH-2", splashApps(), sc.ProcsLarge},
+		{"Figure 6.3(b): checkpoint overhead, PARSEC+Apache", parsecApps(), sc.ProcsSmall},
+	}
+	for _, g := range groups {
+		t := TableData{
+			Title:   fmt.Sprintf("%s, %d procs", g.title, g.procs),
+			Unit:    "% of execution time",
+			Columns: fig63Schemes,
+		}
+		for _, app := range g.apps {
+			row := TableRow{Label: app}
+			for _, scheme := range fig63Schemes {
+				ovh, _, _ := Overhead(Spec{App: app, Procs: g.procs, Scheme: scheme, Scale: sc})
+				row.Values = append(row.Values, ovh*100)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Rows = append(t.Rows, avgRow(t.Rows))
+		out = append(out, t)
+	}
+	return out
+}
+
+// barrierApps are the barrier-intensive codes Figure 6.4 evaluates.
+func barrierApps() []string {
+	return []string{"FFT", "Radix", "LU-C", "LU-NC", "Ocean", "Streamcluster"}
+}
+
+var fig64Schemes = []string{"Global", "Rebound_NoDWB", "Rebound_NoDWB_Barr", "Rebound", "Rebound_Barr"}
+
+// Fig64 reproduces Figure 6.4: the impact of the Barrier optimisation
+// on the barrier-intensive applications.
+func Fig64(sc Scale) TableData {
+	t := TableData{
+		Title:   fmt.Sprintf("Figure 6.4: barrier optimisation impact, %d procs", sc.ProcsLarge),
+		Unit:    "% of execution time",
+		Columns: fig64Schemes,
+	}
+	for _, app := range barrierApps() {
+		row := TableRow{Label: app}
+		for _, scheme := range fig64Schemes {
+			ovh, _, _ := Overhead(Spec{App: app, Procs: sc.ProcsLarge, Scheme: scheme, Scale: sc})
+			row.Values = append(row.Values, ovh*100)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, avgRow(t.Rows))
+	return t
+}
+
+// breakdown computes the Fig 6.5 categories for one run, in
+// processor-cycles: measured stalls plus the IPCDelay residual.
+func breakdown(res, base Result) (wb, imb, sync, ipc float64) {
+	wbc, imbc, syncc := res.St.StallTotals()
+	wb, imb, sync = float64(wbc), float64(imbc), float64(syncc)
+	// Signed difference: at small scales a scheme run can finish at (or
+	// even slightly under) the baseline cycle count.
+	delta := int64(res.Cycles) - int64(base.Cycles)
+	if delta < 0 {
+		delta = 0
+	}
+	total := float64(delta) * float64(res.Spec.Procs)
+	ipc = total - wb - imb - sync
+	if ipc < 0 {
+		ipc = 0
+	}
+	return
+}
+
+// Fig65 reproduces Figure 6.5: the checkpointing-overhead breakdown
+// (WBDelay, WBImbalanceDelay, SyncDelay, IPCDelay) of Global,
+// Rebound_NoDWB and Rebound, averaged over the SPLASH-2 codes and
+// normalised to Global's total.
+func Fig65(sc Scale) TableData {
+	schemes := []string{"Global", "Rebound_NoDWB", "Rebound"}
+	t := TableData{
+		Title:   fmt.Sprintf("Figure 6.5: overhead breakdown, SPLASH-2 avg, %d procs (normalised to Global)", sc.ProcsLarge),
+		Columns: []string{"WBDelay", "WBImbalance", "SyncDelay", "IPCDelay", "Total"},
+	}
+	sums := make([][4]float64, len(schemes))
+	for _, app := range splashApps() {
+		for i, scheme := range schemes {
+			_, res, base := Overhead(Spec{App: app, Procs: sc.ProcsLarge, Scheme: scheme, Scale: sc})
+			wb, imb, sync, ipc := breakdown(res, base)
+			sums[i][0] += wb
+			sums[i][1] += imb
+			sums[i][2] += sync
+			sums[i][3] += ipc
+		}
+	}
+	globalTotal := sums[0][0] + sums[0][1] + sums[0][2] + sums[0][3]
+	if globalTotal == 0 {
+		globalTotal = 1
+	}
+	for i, scheme := range schemes {
+		total := 0.0
+		row := TableRow{Label: scheme}
+		for _, v := range sums[i] {
+			row.Values = append(row.Values, v/globalTotal)
+			total += v / globalTotal
+		}
+		row.Values = append(row.Values, total)
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fig66Apps is the SPLASH-2 subset used for the scalability sweep (the
+// full suite at three machine sizes would triple the figure's runtime
+// for the same trend).
+func fig66Apps() []string {
+	return []string{"Barnes", "FFT", "LU-C", "Ocean", "Water-Nsq", "Raytrace"}
+}
+
+// Fig66 reproduces Figure 6.6: checkpointing overhead (a), energy
+// increase due to checkpointing (b) and fault recovery latency (c) for
+// SPLASH-2 as the processor count grows (paper: 16/32/64).
+func Fig66(sc Scale) []TableData {
+	schemes := []string{"Global", "Rebound_NoDWB", "Rebound"}
+	counts := []int{sc.ProcsLarge / 4, sc.ProcsLarge / 2, sc.ProcsLarge}
+	ovhT := TableData{Title: "Figure 6.6(a): checkpoint overhead vs processor count (SPLASH-2 avg)",
+		Unit: "% of execution time", Columns: schemes}
+	engT := TableData{Title: "Figure 6.6(b): energy increase due to checkpointing vs processor count",
+		Unit: "% over no-checkpointing", Columns: schemes}
+	recT := TableData{Title: "Figure 6.6(c): fault recovery latency vs processor count",
+		Unit: "ms at 1 GHz", Columns: schemes}
+	for _, n := range counts {
+		if n < 2 {
+			continue
+		}
+		ovhRow := TableRow{Label: fmt.Sprintf("%d procs", n)}
+		engRow := ovhRow
+		recRow := ovhRow
+		ovhRow.Values = nil
+		engRow.Values = nil
+		recRow.Values = nil
+		for _, scheme := range schemes {
+			var ovhSum, engSum, recSum float64
+			for _, app := range fig66Apps() {
+				spec := Spec{App: app, Procs: n, Scheme: scheme, Scale: sc}
+				ovh, res, base := Overhead(spec)
+				ovhSum += ovh
+				engSum += (res.Power.TotalJ/base.Power.TotalJ - 1) * 100
+				recSum += RecoveryLatencyMS(spec)
+			}
+			k := float64(len(fig66Apps()))
+			ovhRow.Values = append(ovhRow.Values, ovhSum/k*100)
+			engRow.Values = append(engRow.Values, engSum/k)
+			recRow.Values = append(recRow.Values, recSum/k)
+		}
+		ovhT.Rows = append(ovhT.Rows, ovhRow)
+		engT.Rows = append(engT.Rows, engRow)
+		recT.Rows = append(recT.Rows, recRow)
+	}
+	return []TableData{ovhT, engT, recT}
+}
+
+// RecoveryLatencyMS measures the recovery latency of a transient fault
+// injected right before a checkpoint would start (the Fig 6.6c setup):
+// milliseconds from detection to all processors resumed.
+func RecoveryLatencyMS(spec Spec) float64 {
+	m, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	inj := fault.NewInjector(m, spec.Scale.Seed)
+	// Run to just before the end of a checkpoint interval.
+	m.Run(uint64(spec.Procs) * spec.Scale.Interval * 9 / 10)
+	inj.InjectAt(m.Now()+1, 0, m.Cfg.DetectLatency/2)
+	// Run in short slices until the recovery is recorded.
+	for i := 0; i < 200 && len(m.St.Rollbacks) == 0; i++ {
+		m.RunCycles(100_000)
+	}
+	if len(m.St.Rollbacks) == 0 {
+		return 0
+	}
+	rb := m.St.Rollbacks[0]
+	return float64(rb.End-rb.Start) / 1e6 // cycles at 1 GHz -> ms
+}
+
+// fig67Apps are codes with relatively small interaction sets (§6.4).
+func fig67Apps() []string {
+	return []string{"Blackscholes", "Apache", "Water-Sp", "Fluidanimate", "Ferret"}
+}
+
+// Fig67 reproduces Figure 6.7: one of the processors initiates a
+// checkpoint (as if performing output I/O) every half checkpoint
+// interval; the table reports the resulting average checkpoint
+// interval per processor for Global-I/O and Rebound-I/O.
+func Fig67(sc Scale) TableData {
+	t := TableData{
+		Title: fmt.Sprintf("Figure 6.7: avg checkpoint interval under forced I/O, %d procs (interval=%d instr)",
+			sc.ProcsLarge, sc.Interval),
+		Unit:    "instructions per processor",
+		Columns: []string{"Global-I/O", "Rebound-I/O"},
+	}
+	for _, app := range fig67Apps() {
+		row := TableRow{Label: app}
+		for _, scheme := range []string{"Global", "Rebound"} {
+			res := RunCached(Spec{App: app, Procs: sc.ProcsLarge, Scheme: scheme,
+				Scale: sc, IOForce: sc.Interval / 2})
+			row.Values = append(row.Values, res.St.AvgCheckpointIntervalInstr())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, avgRow(t.Rows))
+	return t
+}
+
+// Fig68 reproduces Figure 6.8: estimated on-chip power of Global,
+// Rebound_NoDWB and Rebound on SPLASH-2, plus the ED² comparison the
+// paper quotes (§6.5).
+func Fig68(sc Scale) TableData {
+	schemes := []string{"Global", "Rebound_NoDWB", "Rebound"}
+	t := TableData{
+		Title:   fmt.Sprintf("Figure 6.8: estimated power, SPLASH-2 avg, %d procs", sc.ProcsLarge),
+		Columns: []string{"Power (W)", "vs Global (%)", "ED2 vs Global (%)"},
+	}
+	type acc struct{ p, ed2 float64 }
+	sums := make([]acc, len(schemes))
+	for _, app := range splashApps() {
+		for i, scheme := range schemes {
+			_, res, _ := Overhead(Spec{App: app, Procs: sc.ProcsLarge, Scheme: scheme, Scale: sc})
+			sums[i].p += res.Power.AvgPowerW
+			sums[i].ed2 += res.Power.ED2
+		}
+	}
+	k := float64(len(splashApps()))
+	for i, scheme := range schemes {
+		t.Rows = append(t.Rows, TableRow{Label: scheme, Values: []float64{
+			sums[i].p / k,
+			(sums[i].p/sums[0].p - 1) * 100,
+			(sums[i].ed2/sums[0].ed2 - 1) * 100,
+		}})
+	}
+	return t
+}
+
+// Table61 reproduces Table 6.1: per application, the ICHK increase due
+// to WSIG false positives, the maximum log space per checkpoint
+// interval, and the coherence-message increase from maintaining LW-ID
+// and the Dep registers. SPLASH-2 runs on the large machine,
+// PARSEC/Apache on the small one, as in the paper.
+func Table61(sc Scale) TableData {
+	t := TableData{
+		Title:   "Table 6.1: Rebound characterisation",
+		Columns: []string{"ICHK FP incr (%)", "Log size (MB)", "Msg incr (%)"},
+	}
+	apps := append(splashApps(), parsecApps()...)
+	for _, app := range apps {
+		procs := sc.ProcsLarge
+		if p := workloadSuite(app); p == "parsec" || p == "server" {
+			procs = sc.ProcsSmall
+		}
+		res := RunCached(Spec{App: app, Procs: procs, Scheme: "Rebound", Scale: sc})
+		t.Rows = append(t.Rows, TableRow{Label: app, Values: []float64{
+			res.St.ICHKFalsePositiveIncreasePct(),
+			float64(res.St.LogHighWaterBytes) / (1 << 20),
+			res.St.MessageIncreasePct(),
+		}})
+	}
+	t.Rows = append(t.Rows, avgRow(t.Rows))
+	return t
+}
+
+func workloadSuite(app string) string {
+	if p := workload.ByName(app); p != nil {
+		return p.Suite
+	}
+	return "splash2"
+}

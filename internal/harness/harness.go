@@ -1,0 +1,280 @@
+// Package harness drives the experiments of the paper's evaluation
+// chapter: one runner per figure/table, shared by cmd/figures, the root
+// benchmarks and the integration tests. Every configuration runs
+// against a "none" (no checkpointing) baseline to compute overheads,
+// exactly as the paper reports them.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Scale sizes the experiments. The paper runs SPLASH-2 on up to 64
+// processors and PARSEC/Apache on 24, with 4M-instruction checkpoint
+// intervals; the scaled defaults keep the same dirty-lines-per-interval
+// regime at simulation-friendly sizes (DESIGN.md).
+type Scale struct {
+	Name string
+	// ProcsLarge is the SPLASH-2 processor count (paper: 64);
+	// ProcsSmall is the PARSEC/Apache count (paper: 24).
+	ProcsLarge, ProcsSmall int
+	// InstrPerProc is the per-processor instruction budget of one run.
+	InstrPerProc uint64
+	// Interval is the checkpoint interval in instructions.
+	Interval uint64
+	// DetectLatency is L in cycles.
+	DetectLatency sim.Cycle
+	Seed          uint64
+}
+
+// Quick is the test/benchmark scale; Full approximates the paper's
+// processor counts.
+var (
+	Quick = Scale{Name: "quick", ProcsLarge: 16, ProcsSmall: 8,
+		InstrPerProc: 120_000, Interval: 25_000, DetectLatency: 6_000, Seed: 1}
+	Full = Scale{Name: "full", ProcsLarge: 64, ProcsSmall: 24,
+		InstrPerProc: 150_000, Interval: 30_000, DetectLatency: 8_000, Seed: 1}
+)
+
+// ScaleByName resolves "quick" or "full".
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	}
+	return Scale{}, fmt.Errorf("harness: unknown scale %q (quick|full)", name)
+}
+
+// Spec describes one run.
+type Spec struct {
+	App    string
+	Procs  int
+	Scheme string
+	Scale  Scale
+	// IOForce > 0 makes core 1 perform output I/O every IOForce
+	// instructions (the Fig 6.7 experiment).
+	IOForce uint64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec   Spec
+	St     *stats.Stats
+	Cycles uint64
+	Power  power.Report
+}
+
+// SchemeFor builds the named scheme.
+func SchemeFor(name string) (machine.Scheme, error) {
+	switch name {
+	case "none":
+		return machine.NullScheme{}, nil
+	case "Global":
+		return core.NewGlobal(false), nil
+	case "Global_DWB":
+		return core.NewGlobal(true), nil
+	case "Rebound":
+		return core.NewRebound(core.Options{DelayedWB: true}), nil
+	case "Rebound_NoDWB":
+		return core.NewRebound(core.Options{}), nil
+	case "Rebound_Barr":
+		return core.NewRebound(core.Options{DelayedWB: true, BarrierOpt: true}), nil
+	case "Rebound_NoDWB_Barr":
+		return core.NewRebound(core.Options{BarrierOpt: true}), nil
+	}
+	return nil, fmt.Errorf("harness: unknown scheme %q", name)
+}
+
+// Build constructs the machine for a spec without running it.
+func Build(spec Spec) (*machine.Machine, error) {
+	prof := workload.ByName(spec.App)
+	if prof == nil {
+		return nil, fmt.Errorf("harness: unknown application %q", spec.App)
+	}
+	if spec.IOForce > 0 {
+		p := *prof
+		p.IOPeriod = int(spec.IOForce)
+		p.IOCore = 1 // core 0 only
+		prof = &p
+	}
+	sch, err := SchemeFor(spec.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	cfg := machine.DefaultConfig(spec.Procs)
+	cfg.CkptInterval = spec.Scale.Interval
+	cfg.DetectLatency = spec.Scale.DetectLatency
+	cfg.Seed = spec.Scale.Seed
+	return machine.New(cfg, prof, sch), nil
+}
+
+// Run executes the spec to its instruction budget.
+func Run(spec Spec) (Result, error) {
+	m, err := Build(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	end := m.Run(spec.Scale.InstrPerProc * uint64(spec.Procs))
+	m.FinalizeStats()
+	hasDep := spec.Scheme != "none" && spec.Scheme != "Global" && spec.Scheme != "Global_DWB"
+	return Result{
+		Spec:   spec,
+		St:     m.St,
+		Cycles: uint64(end),
+		Power:  power.Default45nm().Compute(m.St, hasDep),
+	}, nil
+}
+
+// MustRun is Run for known-good specs (figure drivers).
+func MustRun(spec Spec) Result {
+	res, err := Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Runs are deterministic for a given spec, so figure sweeps share
+// results through a cache (Fig 6.3, 6.5 and 6.8 reuse the same runs;
+// every overhead needs the same "none" baseline).
+var runCache = map[string]Result{}
+
+func cacheKey(spec Spec) string {
+	return fmt.Sprintf("%s/%d/%s/%s/%d", spec.App, spec.Procs, spec.Scheme,
+		spec.Scale.Name, spec.IOForce)
+}
+
+// RunCached is MustRun behind the deterministic-run cache. Custom
+// scales (cmd/reboundsim) bypass the cache.
+func RunCached(spec Spec) Result {
+	if spec.Scale.Name == "custom" {
+		return MustRun(spec)
+	}
+	key := cacheKey(spec)
+	if r, ok := runCache[key]; ok {
+		return r
+	}
+	r := MustRun(spec)
+	runCache[key] = r
+	return r
+}
+
+// Baseline returns (cached) the no-checkpointing run for spec's
+// app/procs/scale.
+func Baseline(spec Spec) Result {
+	b := spec
+	b.Scheme = "none"
+	return RunCached(b)
+}
+
+// Overhead runs spec and returns its checkpointing overhead as a
+// fraction of the baseline execution time, with both results.
+func Overhead(spec Spec) (float64, Result, Result) {
+	base := Baseline(spec)
+	res := RunCached(spec)
+	ovh := float64(res.Cycles)/float64(base.Cycles) - 1
+	if ovh < 0 {
+		ovh = 0
+	}
+	return ovh, res, base
+}
+
+// --- text tables ----------------------------------------------------------
+
+// TableData is a formatted experiment outcome.
+type TableData struct {
+	Title   string
+	Unit    string
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one labelled row of values.
+type TableRow struct {
+	Label  string
+	Values []float64
+}
+
+// Format renders an aligned text table.
+func (t TableData) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s", t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&sb, "  [%s]", t.Unit)
+	}
+	sb.WriteByte('\n')
+	width := 12
+	for _, c := range t.Columns {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	label := 16
+	for _, r := range t.Rows {
+		if len(r.Label)+2 > label {
+			label = len(r.Label) + 2
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", label, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, "%*s", width, c)
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", label, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&sb, "%*.2f", width, v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// avgRow appends an average row (mean of each column) to rows.
+func avgRow(rows []TableRow) TableRow {
+	if len(rows) == 0 {
+		return TableRow{Label: "Average"}
+	}
+	n := len(rows[0].Values)
+	avg := make([]float64, n)
+	for _, r := range rows {
+		for i, v := range r.Values {
+			avg[i] += v
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(rows))
+	}
+	return TableRow{Label: "Average", Values: avg}
+}
+
+// appNames extracts names from profiles.
+func appNames(ps []*workload.Profile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// splashApps returns the SPLASH-2 application names (incl. Raytrace).
+func splashApps() []string {
+	names := appNames(workload.SPLASH2())
+	return append(names, "Raytrace")
+}
+
+// parsecApps returns PARSEC + Apache names.
+func parsecApps() []string {
+	names := appNames(workload.PARSEC())
+	return append(names, "Apache")
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemeForAndScaleByName(t *testing.T) {
+	for _, name := range []string{"none", "Global", "Global_DWB", "Rebound",
+		"Rebound_NoDWB", "Rebound_Barr", "Rebound_NoDWB_Barr"} {
+		if _, err := SchemeFor(name); err != nil {
+			t.Fatalf("SchemeFor(%q): %v", name, err)
+		}
+	}
+	if _, err := SchemeFor("bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if sc, err := ScaleByName("quick"); err != nil || sc.Name != "quick" {
+		t.Fatal("quick scale lookup failed")
+	}
+	if sc, err := ScaleByName("full"); err != nil || sc.ProcsLarge != 64 {
+		t.Fatal("full scale lookup failed")
+	}
+	if _, err := ScaleByName("nope"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}
+
+func TestRunRejectsUnknownApp(t *testing.T) {
+	if _, err := Run(Spec{App: "NoSuchApp", Procs: 4, Scheme: "Rebound", Scale: Quick}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestOverheadPositiveAndOrdered(t *testing.T) {
+	sc := Quick
+	spec := func(scheme string) Spec {
+		return Spec{App: "FFT", Procs: sc.ProcsLarge, Scheme: scheme, Scale: sc}
+	}
+	og, _, _ := Overhead(spec("Global"))
+	or, _, _ := Overhead(spec("Rebound"))
+	t.Logf("FFT@%d: Global=%.1f%% Rebound=%.1f%%", sc.ProcsLarge, og*100, or*100)
+	if og <= 0 {
+		t.Fatal("Global overhead should be positive")
+	}
+	if or >= og {
+		t.Fatalf("Rebound (%.3f) not cheaper than Global (%.3f)", or, og)
+	}
+}
+
+func TestFig61ShapesAndFormat(t *testing.T) {
+	td := Fig61(Quick)
+	if len(td.Rows) != 6 { // 4 PARSEC + Apache + Average
+		t.Fatalf("rows = %d, want 6", len(td.Rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range td.Rows {
+		byName[r.Label] = r.Values[0]
+		if r.Values[0] < 0 || r.Values[0] > 100 {
+			t.Fatalf("%s ICHK %.1f%% out of range", r.Label, r.Values[0])
+		}
+	}
+	// Communication-local codes must have small interaction sets;
+	// barriered Streamcluster a large one (the Fig 6.1 shape).
+	if byName["Blackscholes"] >= byName["Streamcluster"] {
+		t.Fatalf("Blackscholes (%.0f%%) should be below Streamcluster (%.0f%%)",
+			byName["Blackscholes"], byName["Streamcluster"])
+	}
+	out := td.Format()
+	if !strings.Contains(out, "Apache") || !strings.Contains(out, "Average") {
+		t.Fatal("Format lost rows")
+	}
+}
+
+func TestFig67Ordering(t *testing.T) {
+	sc := Quick
+	td := Fig67(sc)
+	avg := td.Rows[len(td.Rows)-1]
+	global, rebound := avg.Values[0], avg.Values[1]
+	t.Logf("forced-I/O interval: Global=%.0f Rebound=%.0f", global, rebound)
+	if rebound <= global {
+		t.Fatal("Rebound should sustain a longer checkpoint interval under forced I/O")
+	}
+}
+
+func TestRecoveryLatencyMeasured(t *testing.T) {
+	ms := RecoveryLatencyMS(Spec{App: "Barnes", Procs: 8, Scheme: "Rebound", Scale: Quick})
+	if ms <= 0 {
+		t.Fatal("recovery latency not measured")
+	}
+	t.Logf("recovery latency: %.3f ms", ms)
+}
+
+func TestTable61SingleApp(t *testing.T) {
+	res := MustRun(Spec{App: "Water-Sp", Procs: 8, Scheme: "Rebound", Scale: Quick})
+	if res.St.LogHighWaterBytes == 0 {
+		t.Fatal("no log high-water recorded")
+	}
+	if res.St.CohMessages == 0 || res.St.DepMessages == 0 {
+		t.Fatal("message accounting missing")
+	}
+	if res.St.MessageIncreasePct() <= 0 || res.St.MessageIncreasePct() > 50 {
+		t.Fatalf("message increase %.1f%% implausible", res.St.MessageIncreasePct())
+	}
+}
+
+func TestBaselineCaching(t *testing.T) {
+	spec := Spec{App: "Volrend", Procs: 4, Scheme: "Rebound", Scale: Quick}
+	a := Baseline(spec)
+	b := Baseline(spec)
+	if a.St != b.St {
+		t.Fatal("baseline not cached")
+	}
+}

@@ -1,0 +1,432 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+func testCfg(n int) Config {
+	cfg := DefaultConfig(n)
+	cfg.CkptInterval = 20_000
+	cfg.DetectLatency = 4_000
+	return cfg
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		m := New(testCfg(4), workload.Uniform(), NullScheme{})
+		end := m.Run(100_000)
+		return uint64(end), m.St.TotalInstructions()
+	}
+	e1, i1 := run()
+	e2, i2 := run()
+	if e1 != e2 || i1 != i2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", e1, i1, e2, i2)
+	}
+	if i1 < 100_000 {
+		t.Fatalf("instructions = %d, want >= target", i1)
+	}
+	if e1 == 0 {
+		t.Fatal("end cycle is zero")
+	}
+}
+
+func TestCoherenceInvariantsAfterRun(t *testing.T) {
+	m := New(testCfg(4), workload.Uniform(), NullScheme{})
+	m.Run(150_000)
+	m.CheckCoherence()
+	if m.St.L2Misses == 0 || m.St.L1Hits == 0 {
+		t.Fatal("cache hierarchy not exercised")
+	}
+}
+
+func TestBarriersMakeProgress(t *testing.T) {
+	prof := workload.Uniform()
+	prof.BarrierPeriod = 3_000
+	m := New(testCfg(4), prof, NullScheme{})
+	m.Run(200_000)
+	// Every core must get past many barriers: instruction counts stay
+	// balanced (a stuck barrier would freeze all cores).
+	for i, n := range m.St.Instructions {
+		if n < 30_000 {
+			t.Fatalf("core %d committed only %d instructions: barrier stuck?", i, n)
+		}
+	}
+}
+
+func TestLocksMakeProgress(t *testing.T) {
+	prof := workload.Raytrace() // lock-heavy
+	m := New(testCfg(4), prof, NullScheme{})
+	m.Run(150_000)
+	for i, n := range m.St.Instructions {
+		if n < 15_000 {
+			t.Fatalf("core %d committed only %d instructions: lock stuck?", i, n)
+		}
+	}
+}
+
+func TestDependencesRecorded(t *testing.T) {
+	prof := workload.Uniform()
+	prof.SharedFrac = 0.4 // plenty of sharing
+	m := New(testCfg(4), prof, NullScheme{})
+	m.Run(100_000)
+	any := false
+	for _, p := range m.Procs {
+		if !p.Deps().Current().MyProducers.Empty() || !p.Deps().Current().MyConsumers.Empty() {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no inter-thread dependences recorded despite heavy sharing")
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	m := New(testCfg(2), workload.Uniform(), NullScheme{})
+	p := m.Procs[0]
+	acked := false
+	p.RequestPause(func() { acked = true })
+	m.Run(5_000)
+	if !acked || !p.Paused() {
+		t.Fatal("pause not honoured at op boundary")
+	}
+	before := m.St.Instructions[0]
+	m.RunCycles(10_000)
+	if m.St.Instructions[0] != before {
+		t.Fatal("paused core kept executing")
+	}
+	p.Resume()
+	m.RunCycles(10_000)
+	if m.St.Instructions[0] == before {
+		t.Fatal("resumed core did not continue")
+	}
+}
+
+func TestPoisonPropagation(t *testing.T) {
+	prof := workload.Uniform()
+	prof.SharedFrac = 0.5
+	m := New(testCfg(4), prof, NullScheme{})
+	m.Run(20_000)
+	m.Procs[0].InjectFault()
+	var tainted []int
+	m.OnTaint = func(p *Proc) { tainted = append(tainted, p.ID()) }
+	m.Run(300_000)
+	if !m.Procs[0].Faulty() {
+		t.Fatal("fault flag lost")
+	}
+	if len(tainted) == 0 {
+		t.Fatal("poison never propagated to a consumer despite heavy sharing")
+	}
+	if _, any := m.Ctrl.Memory().AnyPoison(); !any {
+		t.Fatal("no poisoned line ever reached memory")
+	}
+}
+
+// pauseAll pauses every processor, then calls then once all have acked.
+func pauseAll(m *Machine, then func()) {
+	n := 0
+	for _, p := range m.Procs {
+		p.RequestPause(func() {
+			n++
+			if n == len(m.Procs) {
+				then()
+			}
+		})
+	}
+}
+
+// checkpointAllForeground drives a manual foreground checkpoint of all
+// processors (what the Global scheme does): atCompleted (optional)
+// fires when every writeback has finished and all processors are still
+// paused — the checkpointed state is materialised in memory at that
+// instant — and done fires after everyone reopened a new epoch and
+// resumed.
+func checkpointAllForeground(m *Machine, atCompleted, done func()) {
+	pauseAll(m, func() {
+		m.Ctrl.Log().Stub(m.Now())
+		type pair struct {
+			p   *Proc
+			rec *CkptRec
+		}
+		var pairs []pair
+		remaining := len(m.Procs)
+		for _, p := range m.Procs {
+			p := p
+			rec := p.BeginCheckpoint()
+			pairs = append(pairs, pair{p, rec})
+			p.WritebackAllForeground(func() {
+				remaining--
+				if remaining != 0 {
+					return
+				}
+				// All writebacks done; everyone is still paused.
+				for _, pr := range pairs {
+					pr.p.FinishCheckpoint(pr.rec)
+				}
+				if atCompleted != nil {
+					atCompleted()
+				}
+				opened := len(pairs)
+				for _, pr := range pairs {
+					pr.p.OpenNextEpoch(func() {
+						pr.p.Resume()
+						opened--
+						if opened == 0 && done != nil {
+							done()
+						}
+					})
+				}
+			})
+		}
+	})
+}
+
+// The central machine-level property: after a checkpoint, memory holds
+// the committed state; running further and rolling everything back
+// restores exactly that state.
+func TestCheckpointRollbackRestoresMemory(t *testing.T) {
+	cfg := testCfg(4)
+	cfg.DetectLatency = 1_000
+	m := New(cfg, workload.Uniform(), NullScheme{})
+	m.Run(60_000)
+
+	var snap map[uint64]mem.Word
+	phase := 0
+	checkpointAllForeground(m, func() {
+		snap = m.Ctrl.Memory().Snapshot()
+	}, func() {
+		phase = 1
+	})
+	m.RunCycles(2_000_000)
+	if phase != 1 {
+		t.Fatal("checkpoint did not complete")
+	}
+
+	// Run well past the detection latency so the checkpoint is safe.
+	m.Run(80_000)
+
+	done := false
+	pauseAll(m, func() {
+		targets, restored, _ := m.RollbackProcs(m.Procs)
+		if restored == 0 {
+			t.Error("rollback restored no log entries")
+		}
+		for pid, e := range targets {
+			if e != 1 {
+				t.Errorf("proc %d target epoch = %d, want 1", pid, e)
+			}
+		}
+		done = true
+	})
+	m.RunCycles(1_000_000)
+	if !done {
+		t.Fatal("rollback never ran")
+	}
+
+	got := m.Ctrl.Memory().Snapshot()
+	if len(got) != len(snap) {
+		t.Fatalf("memory line count %d != checkpoint %d", len(got), len(snap))
+	}
+	for a, w := range snap {
+		if got[a] != w {
+			t.Fatalf("line %#x = %+v, want %+v", a, got[a], w)
+		}
+	}
+	// Re-execution must proceed fine from the restored state.
+	for _, p := range m.Procs {
+		p.Resume()
+	}
+	m.Run(50_000)
+	m.CheckCoherence()
+}
+
+// Delayed writebacks: draining while paused materialises the sync-point
+// state in memory; a later rollback restores exactly it.
+func TestDelayedWritebackDrainAndRollback(t *testing.T) {
+	cfg := testCfg(4)
+	cfg.DetectLatency = 1_000
+	m := New(cfg, workload.Uniform(), NullScheme{})
+	m.Run(60_000)
+
+	var snap map[uint64]mem.Word
+	var recs []*CkptRec
+	phase := 0
+	pauseAll(m, func() {
+		m.Ctrl.Log().Stub(m.Now())
+		remaining := len(m.Procs)
+		for _, p := range m.Procs {
+			p := p
+			rec := p.BeginCheckpoint()
+			recs = append(recs, rec)
+			if lines := p.MarkDelayed(); lines == 0 {
+				t.Errorf("proc %d had no dirty lines to delay", p.ID())
+			}
+			p.StartDrain(func() {
+				p.FinishCheckpoint(rec)
+				remaining--
+				if remaining == 0 {
+					phase = 1
+				}
+			})
+		}
+	})
+	m.RunCycles(3_000_000)
+	if phase != 1 {
+		t.Fatal("drain did not finish")
+	}
+	if m.St.L2WritebacksBg == 0 {
+		t.Fatal("no background writebacks counted")
+	}
+	snap = m.Ctrl.Memory().Snapshot()
+
+	// Resume, run, roll back: memory must return to the drained state.
+	for _, p := range m.Procs {
+		p.OpenNextEpoch(p.Resume)
+	}
+	m.Run(80_000)
+	done := false
+	pauseAll(m, func() {
+		m.RollbackProcs(m.Procs)
+		done = true
+	})
+	m.RunCycles(1_000_000)
+	if !done {
+		t.Fatal("rollback never ran")
+	}
+	got := m.Ctrl.Memory().Snapshot()
+	for a, w := range snap {
+		if got[a] != w {
+			t.Fatalf("line %#x = %+v, want %+v", a, got[a], w)
+		}
+	}
+	if len(got) != len(snap) {
+		t.Fatalf("memory line count %d != drained checkpoint %d", len(got), len(snap))
+	}
+}
+
+// A write to a Delayed line must flush the old value first (§4.1): the
+// drain with concurrent execution still yields a consistent rollback.
+func TestDrainWhileRunningThenRollbackToStart(t *testing.T) {
+	cfg := testCfg(2)
+	cfg.DetectLatency = 50_000_000 // nothing is safe: rollback to start
+	m := New(cfg, workload.Uniform(), NullScheme{})
+	m.Run(40_000)
+
+	drained := 0
+	pauseAll(m, func() {
+		for _, p := range m.Procs {
+			p := p
+			rec := p.BeginCheckpoint()
+			p.MarkDelayed()
+			p.StartDrain(func() {
+				p.FinishCheckpoint(rec)
+				drained++
+			})
+			p.OpenNextEpoch(p.Resume) // resume immediately: drain overlaps execution
+		}
+	})
+	m.Run(60_000)
+	if drained != 2 {
+		t.Fatalf("drained = %d, want 2", drained)
+	}
+
+	done := false
+	pauseAll(m, func() {
+		m.RollbackProcs(m.Procs) // latest safe = program start
+		done = true
+	})
+	m.RunCycles(2_000_000)
+	if !done {
+		t.Fatal("rollback never ran")
+	}
+	if n := m.Ctrl.Memory().Len(); n != 0 {
+		t.Fatalf("rollback to start left %d lines in memory", n)
+	}
+	if m.Ctrl.Log().Len() != 0 {
+		t.Fatal("rollback to start left log entries")
+	}
+}
+
+func TestDepSetRecyclingAcrossCheckpoints(t *testing.T) {
+	cfg := testCfg(2)
+	cfg.DetectLatency = 2_000
+	m := New(cfg, workload.Uniform(), NullScheme{})
+	m.Run(20_000)
+	// Take several checkpoints; Dep sets must recycle rather than
+	// exhaust (capacity 4).
+	for round := 0; round < 6; round++ {
+		ok := false
+		checkpointAllForeground(m, nil, func() { ok = true })
+		m.RunCycles(1_000_000)
+		if !ok {
+			t.Fatalf("checkpoint round %d stalled", round)
+		}
+		m.Run(10_000)
+	}
+	for _, p := range m.Procs {
+		if p.Epoch() != 6 {
+			t.Fatalf("proc %d epoch = %d, want 6", p.ID(), p.Epoch())
+		}
+		if p.Deps().LiveCount() > 4 {
+			t.Fatal("dep sets exceeded capacity")
+		}
+	}
+}
+
+func TestLatestSafeCkptRespectsL(t *testing.T) {
+	cfg := testCfg(2)
+	cfg.DetectLatency = 1 << 40 // enormous L: only program start is safe
+	m := New(cfg, workload.Uniform(), NullScheme{})
+	m.Run(30_000)
+	ok := false
+	checkpointAllForeground(m, nil, func() { ok = true })
+	m.RunCycles(2_000_000)
+	if !ok {
+		t.Fatal("checkpoint stalled")
+	}
+	p := m.Procs[0]
+	if rec := p.LatestSafeCkpt(); rec.OpenedEpoch != 0 {
+		t.Fatalf("young checkpoint considered safe with huge L (epoch %d)", rec.OpenedEpoch)
+	}
+}
+
+func TestRollbackClearsFaultAndPoison(t *testing.T) {
+	cfg := testCfg(4)
+	cfg.DetectLatency = 1_000
+	prof := workload.Uniform()
+	prof.SharedFrac = 0.4
+	m := New(cfg, prof, NullScheme{})
+	m.Run(40_000)
+	ok := false
+	checkpointAllForeground(m, nil, func() { ok = true })
+	m.RunCycles(2_000_000)
+	if !ok {
+		t.Fatal("checkpoint stalled")
+	}
+	m.Run(20_000)
+	m.Procs[1].InjectFault()
+	m.Run(60_000)
+
+	done := false
+	pauseAll(m, func() {
+		m.RollbackProcs(m.Procs)
+		done = true
+	})
+	m.RunCycles(2_000_000)
+	if !done {
+		t.Fatal("rollback never ran")
+	}
+	if m.Procs[1].Faulty() {
+		t.Fatal("rollback did not clear the fault")
+	}
+	if a, any := m.Ctrl.Memory().AnyPoison(); any {
+		t.Fatalf("poisoned line %#x survived full rollback", a)
+	}
+	for _, p := range m.Procs {
+		if p.Tainted() {
+			t.Fatal("taint survived rollback")
+		}
+	}
+}

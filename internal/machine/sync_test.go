@@ -1,0 +1,180 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// The synchronisation runtime executes barriers and locks as real
+// shared-memory accesses; these tests pin down its edge cases.
+
+func TestBarrierGenerationsAdvance(t *testing.T) {
+	prof := workload.Uniform()
+	prof.BarrierPeriod = 2_000
+	m := New(testCfg(4), prof, NullScheme{})
+	m.Run(300_000)
+	// Barrier flags hold monotonically increasing generation counts;
+	// with 4 rotating barrier ids and frequent episodes, each flag line
+	// must have advanced several generations.
+	advanced := 0
+	for id := uint64(0); id < 4; id++ {
+		if m.Ctrl.Memory().Read(barFlagLine(id)).Val > 2 {
+			advanced++
+		}
+	}
+	if advanced == 0 {
+		t.Fatal("no barrier flag advanced multiple generations")
+	}
+	// Barrier locks must all be free at rest (count lines zeroed by the
+	// last arriver of each episode or mid-episode — either way bounded).
+	for id := uint64(0); id < 4; id++ {
+		if v := m.Ctrl.Memory().Read(barCountLine(id)).Val; v > 4 {
+			t.Fatalf("barrier %d count %d exceeds processor count", id, v)
+		}
+	}
+}
+
+func TestLockMutualExclusionUnderContention(t *testing.T) {
+	// All cores hammer a single lock; the critical sections write a
+	// shared cluster line. If mutual exclusion broke, the lock line
+	// would exceed 1 or progress would wedge.
+	prof := workload.Uniform()
+	prof.LockRate = 0.05
+	prof.NLocks = 1
+	prof.ClusterSize = 0 // one cluster: one hot lock
+	m := New(testCfg(4), prof, NullScheme{})
+	m.Run(150_000)
+	for i, n := range m.St.Instructions {
+		if n < 15_000 {
+			t.Fatalf("core %d starved under lock contention (%d instrs)", i, n)
+		}
+	}
+	// Lock words only ever hold 0 (free) or 1 (held).
+	m.Ctrl.Memory().ForEach(func(addr uint64, w mem.Word) {
+		if addr >= lockRegion && addr < barRegion && w.Val > 1 {
+			t.Errorf("lock line %#x holds %d", addr, w.Val)
+		}
+	})
+}
+
+func TestSnapshotMidBarrierRollbackReexecutes(t *testing.T) {
+	// Checkpoint while processors sit inside a barrier (spinning or in
+	// the update section), run on, then roll everything back: the
+	// machine must make progress again — the barrier state in memory
+	// and the micro-sequence state in the snapshot stay consistent.
+	cfg := testCfg(4)
+	cfg.DetectLatency = 500
+	prof := workload.Uniform()
+	prof.BarrierPeriod = 1_500 // constant barrier churn
+	m := New(cfg, prof, NullScheme{})
+	m.Run(30_000)
+
+	ok := false
+	checkpointAllForeground(m, nil, func() { ok = true })
+	m.RunCycles(2_000_000)
+	if !ok {
+		t.Fatal("checkpoint stalled")
+	}
+	m.Run(30_000)
+
+	done := false
+	pauseAll(m, func() {
+		m.RollbackProcs(m.Procs)
+		done = true
+	})
+	m.RunCycles(2_000_000)
+	if !done {
+		t.Fatal("rollback never ran")
+	}
+	for _, p := range m.Procs {
+		p.Resume()
+	}
+	before := m.St.TotalInstructions()
+	m.Run(60_000)
+	if m.St.TotalInstructions() < before+50_000 {
+		t.Fatal("machine wedged after mid-barrier rollback")
+	}
+	m.CheckCoherence()
+}
+
+func TestRepeatedRollbacksConverge(t *testing.T) {
+	// Rolling back to the same checkpoint repeatedly must be idempotent
+	// on memory state (re-execution is deterministic).
+	cfg := testCfg(2)
+	cfg.DetectLatency = 500
+	m := New(cfg, workload.Uniform(), NullScheme{})
+	m.Run(40_000)
+	ok := false
+	checkpointAllForeground(m, nil, func() { ok = true })
+	m.RunCycles(2_000_000)
+	if !ok {
+		t.Fatal("checkpoint stalled")
+	}
+
+	var snaps []int
+	for round := 0; round < 3; round++ {
+		m.Run(20_000)
+		done := false
+		pauseAll(m, func() {
+			m.RollbackProcs(m.Procs)
+			done = true
+		})
+		m.RunCycles(2_000_000)
+		if !done {
+			t.Fatalf("rollback %d never ran", round)
+		}
+		snaps = append(snaps, len(m.Ctrl.Memory().Snapshot()))
+		for _, p := range m.Procs {
+			p.Resume()
+		}
+	}
+	if snaps[0] != snaps[1] || snaps[1] != snaps[2] {
+		t.Fatalf("memory footprint diverges across repeated rollbacks: %v", snaps)
+	}
+}
+
+func TestDormantProcPausesImmediately(t *testing.T) {
+	// A processor dormant at an I/O wait counts as paused the moment a
+	// pause is requested (protocol liveness).
+	prof := workload.Uniform()
+	prof.IOPeriod = 1_000
+	var waiting *Proc
+	scheme := &hookScheme{io: func(p *Proc, resume func()) {
+		if waiting == nil {
+			waiting = p // never resumed: stays dormant
+			return
+		}
+		resume()
+	}}
+	m := New(testCfg(2), prof, scheme)
+	m.Run(50_000)
+	if waiting == nil {
+		t.Fatal("no I/O op reached the scheme")
+	}
+	acked := false
+	waiting.RequestPause(func() { acked = true })
+	if !acked || !waiting.Paused() {
+		t.Fatal("dormant processor did not pause immediately")
+	}
+}
+
+// hookScheme lets tests override single hooks.
+type hookScheme struct {
+	io func(*Proc, func())
+}
+
+func (h *hookScheme) Name() string                           { return "hook" }
+func (h *hookScheme) Attach(*Machine)                        {}
+func (h *hookScheme) IntervalExpired(*Proc)                  {}
+func (h *hookScheme) BarrierUpdate(*Proc, bool)              {}
+func (h *hookScheme) BarrierRelease(_ *Proc, proceed func()) { proceed() }
+func (h *hookScheme) FaultDetected(*Proc)                    {}
+func (h *hookScheme) OutputIO(p *Proc, resume func()) {
+	if h.io != nil {
+		h.io(p, resume)
+		return
+	}
+	resume()
+}

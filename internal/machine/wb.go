@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// --- checkpoint writeback engines (§3.3.3 and §4.1) ---------------------
+
+// DirtyLines returns the number of dirty lines in the L2.
+func (p *Proc) DirtyLines() int { return p.l2.CountDirty() }
+
+// WritebackAllForeground writes back every dirty L2 line (clean copies
+// are retained, Modified lines become Exclusive), logs the register
+// state, and calls done when the last transfer completes. The caller
+// keeps the processor paused for the duration (Fig 4.1a).
+// It returns the number of lines written.
+func (p *Proc) WritebackAllForeground(done func()) uint64 {
+	now := p.m.Eng.Now()
+	maxDone := now
+	var lines uint64
+	p.l2.ForEach(func(l *cache.Line) {
+		if !l.Dirty {
+			return
+		}
+		d := p.m.Dir.WritebackRetain(p.id, l.Addr, l.Data, l.Epoch, false)
+		if d > maxDone {
+			maxDone = d
+		}
+		l.Dirty = false
+		l.Delayed = false
+		if l.State == cache.Modified {
+			l.State = cache.Exclusive
+		}
+		lines++
+	})
+	if d := p.m.Ctrl.LogRegisters(p.id); d > maxDone {
+		maxDone = d
+	}
+	p.m.Eng.At(maxDone, done)
+	return lines
+}
+
+// MarkDelayed flags every dirty L2 line Delayed and queues it for the
+// background drain (Fig 4.1b: the application resumes immediately and
+// the L2 controller writes the lines back in the background). The
+// register state is logged right away. It returns the number of lines
+// queued.
+func (p *Proc) MarkDelayed() uint64 {
+	p.delayedQueue = p.delayedQueue[:0]
+	var lines uint64
+	p.l2.ForEach(func(l *cache.Line) {
+		if !l.Dirty || l.Delayed {
+			return
+		}
+		l.Delayed = true
+		p.delayedQueue = append(p.delayedQueue, l.Addr)
+		lines++
+	})
+	p.m.Ctrl.LogRegisters(p.id)
+	return lines
+}
+
+// StartDrain begins (or continues) the background writeback of Delayed
+// lines; done fires when the queue is empty. Demand traffic bypasses
+// the drain naturally: drained lines are paced DWBGap apart, slower
+// when the memory channels are backed up.
+func (p *Proc) StartDrain(done func()) {
+	p.drainDone = done
+	p.drainRush = false
+	if p.draining {
+		return
+	}
+	p.draining = true
+	p.m.Eng.Schedule(1, p.drainStep)
+}
+
+// RushDrain accelerates an in-progress drain to full channel speed
+// (§4.1: a checkpoint request arriving during the drain makes the
+// controller "speed up the writeback of the Delayed lines").
+func (p *Proc) RushDrain() { p.drainRush = true }
+
+// Draining reports whether a background drain is in progress.
+func (p *Proc) Draining() bool { return p.draining }
+
+func (p *Proc) drainStep() {
+	if !p.draining {
+		return
+	}
+	// Pop until a line that still needs writing is found.
+	for len(p.delayedQueue) > 0 {
+		addr := p.delayedQueue[0]
+		p.delayedQueue = p.delayedQueue[1:]
+		l := p.l2.Peek(addr)
+		if l == nil || !l.Delayed {
+			continue // flushed by a write, recall or eviction meanwhile
+		}
+		d := p.m.Dir.WritebackRetain(p.id, addr, l.Data, l.Epoch, true)
+		l.Delayed = false
+		l.Dirty = false
+		if l.State == cache.Modified {
+			l.State = cache.Exclusive
+		}
+		now := p.m.Eng.Now()
+		var next sim.Cycle
+		if p.drainRush {
+			if d > now {
+				next = d - now
+			}
+		} else {
+			next = p.m.Cfg.DWBGap
+			// Adaptive pacing: when the channel queue is deep (demand
+			// misses suffering), slow down (§4.1).
+			if depth := p.m.Ctrl.DRAM().QueueDepth(addr); depth > 4*p.m.Cfg.DWBGap {
+				next += depth / 2
+			}
+		}
+		p.m.Eng.Schedule(next+1, p.drainStep)
+		return
+	}
+	p.draining = false
+	done := p.drainDone
+	p.drainDone = nil
+	if done != nil {
+		done()
+	}
+}

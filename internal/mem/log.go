@@ -1,0 +1,192 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Entry is one undo record in the software log (§3.3.3): the processor
+// that wrote the line, the checkpoint interval (epoch) whose data the
+// writeback carried, the line address, and the line's old value read
+// from memory by the controller before the write.
+//
+// Epoch tagging is how this implementation handles delayed writebacks:
+// a background writeback of interval i−1 data interleaves in the log
+// with displacements of interval i, and rollback must undo "everything
+// from epoch e onwards for processor p", not "everything after a single
+// stub position" (see DESIGN.md §3.3).
+type Entry struct {
+	Seq   uint64
+	PID   int
+	Epoch uint64
+	Line  uint64
+	Old   Word
+	At    sim.Cycle
+}
+
+// EntryBytes is the log footprint of one entry: 32-byte line data plus
+// address, PID and epoch metadata.
+const EntryBytes = 44
+
+// StubBytes is the footprint of a checkpoint-start stub (replicated per
+// bank in the paper; we account one per bank).
+const StubBytes = 16
+
+// Log is the multi-banked in-memory undo log. Entries are kept in one
+// globally seq-ordered slice; the bank count only affects restore
+// parallelism accounting.
+type Log struct {
+	st      *stats.Stats
+	entries []Entry
+	nextSeq uint64
+	banks   int
+
+	// lastKey implements ReVive's "log only the first writeback of a
+	// line per checkpoint interval" optimisation: a writeback is not
+	// logged again if the most recent log entry for the line came from
+	// the same (pid, epoch). See log_test.go for why any weaker
+	// condition would be unsound.
+	lastKey map[uint64]logKey
+
+	// AlwaysLog disables the optimisation (ablation mode).
+	AlwaysLog bool
+
+	// highWater tracking: bytes appended since the last stub, and the
+	// maximum such value (Table 6.1 row 2: checkpoint writebacks plus
+	// unique displacements until the next checkpoint).
+	sinceStub uint64
+}
+
+type logKey struct {
+	pid   int
+	epoch uint64
+}
+
+// NewLog returns a log banked banks ways.
+func NewLog(st *stats.Stats, banks int) *Log {
+	if banks < 1 {
+		banks = 1
+	}
+	return &Log{st: st, banks: banks, lastKey: make(map[uint64]logKey)}
+}
+
+// Banks returns the bank count.
+func (l *Log) Banks() int { return l.banks }
+
+// Len returns the number of live entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Bytes returns the current log footprint.
+func (l *Log) Bytes() uint64 { return uint64(len(l.entries)) * EntryBytes }
+
+// Append records an undo entry for line, unless the first-writeback
+// optimisation allows skipping it. It reports whether an entry was
+// actually appended (and hence whether the memory controller paid the
+// extra old-value read and log write).
+func (l *Log) Append(pid int, epoch uint64, line uint64, old Word, at sim.Cycle) bool {
+	if !l.AlwaysLog {
+		if k, ok := l.lastKey[line]; ok && k.pid == pid && k.epoch == epoch {
+			return false
+		}
+	}
+	l.nextSeq++
+	l.entries = append(l.entries, Entry{
+		Seq: l.nextSeq, PID: pid, Epoch: epoch, Line: line, Old: old, At: at,
+	})
+	l.lastKey[line] = logKey{pid: pid, epoch: epoch}
+	l.st.LogEntries++
+	l.st.LogBytes += EntryBytes
+	l.sinceStub += EntryBytes
+	if l.sinceStub > l.st.LogHighWaterBytes {
+		l.st.LogHighWaterBytes = l.sinceStub
+	}
+	return true
+}
+
+// Stub marks the start of a checkpoint for a set of processors. In the
+// paper the stub is inserted in every bank; here it resets the
+// per-interval high-water accounting and is counted for footprint.
+func (l *Log) Stub(at sim.Cycle) {
+	l.st.LogStubs++
+	l.st.LogBytes += StubBytes * uint64(l.banks)
+	l.sinceStub = 0
+}
+
+// Rollback undoes, in reverse global order, every entry whose processor
+// is in target and whose epoch is >= target[pid], invoking restore for
+// each and removing the entries from the log. It returns the number of
+// entries restored.
+//
+// Restoring in reverse order across all processors in the set is what
+// makes interleaved writes by multiple rolled-back processors unwind
+// correctly (see the WW-dependence discussion in DESIGN.md).
+func (l *Log) Rollback(target map[int]uint64, restore func(line uint64, old Word)) uint64 {
+	var restored uint64
+	keep := l.entries[:0]
+	// Walk backwards applying restores; then compact forwards.
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		e := l.entries[i]
+		if ep, ok := target[e.PID]; ok && e.Epoch >= ep {
+			restore(e.Line, e.Old)
+			// Invalidate the first-writeback key so a re-executed
+			// interval logs afresh.
+			if k, ok := l.lastKey[e.Line]; ok && k.pid == e.PID && k.epoch == e.Epoch {
+				delete(l.lastKey, e.Line)
+			}
+			restored++
+		}
+	}
+	for _, e := range l.entries {
+		if ep, ok := target[e.PID]; ok && e.Epoch >= ep {
+			continue
+		}
+		keep = append(keep, e)
+	}
+	l.entries = keep
+	return restored
+}
+
+// Truncate discards entries older than the given per-processor safe
+// epochs: an entry (pid, epoch) is dead once epoch < safe[pid], i.e.
+// once no future rollback can target it. Processors absent from safe
+// keep all their entries. It returns the number discarded.
+func (l *Log) Truncate(safe map[int]uint64) int {
+	keep := l.entries[:0]
+	dropped := 0
+	for _, e := range l.entries {
+		if s, ok := safe[e.PID]; ok && e.Epoch < s {
+			dropped++
+			continue
+		}
+		keep = append(keep, e)
+	}
+	l.entries = keep
+	return dropped
+}
+
+// EntriesFor returns (for tests and debugging) the live entries of one
+// processor in ascending seq order.
+func (l *Log) EntriesFor(pid int) []Entry {
+	var out []Entry
+	for _, e := range l.entries {
+		if e.PID == pid {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// CheckInvariants panics if the log's internal ordering is broken.
+func (l *Log) CheckInvariants() {
+	var prev uint64
+	for i, e := range l.entries {
+		if e.Seq <= prev {
+			panic(fmt.Sprintf("mem: log entry %d out of order (seq %d after %d)", i, e.Seq, prev))
+		}
+		prev = e.Seq
+	}
+}

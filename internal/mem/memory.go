@@ -1,0 +1,69 @@
+// Package mem models Rebound's off-chip safe memory (§3.2): the line
+// store itself, a DDR2-like two-channel bandwidth model, the software
+// undo log written by the memory controller (§3.3.3, following ReVive),
+// and the memory controller that performs old-value logging on every
+// writeback. Off-chip memory is assumed fault-free (ECC / NVM / raiding
+// in the paper); the simulator therefore never corrupts it directly —
+// corruption arrives only through writebacks of poisoned cache lines.
+package mem
+
+// Word is the content of one 32-byte cache line, abstracted to a single
+// value plus a poison bit. The poison bit is the fault-injection shadow:
+// a faulty core poisons the values it writes, and poison propagates to
+// any consumer. It models corruption for verification; real hardware
+// has no such bit.
+type Word struct {
+	Val    uint64
+	Poison bool
+}
+
+// Memory is the line-addressed main memory. Absent lines read as zero.
+type Memory struct {
+	lines map[uint64]Word
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{lines: make(map[uint64]Word)} }
+
+// Read returns the current content of line addr.
+func (m *Memory) Read(addr uint64) Word { return m.lines[addr] }
+
+// Write stores w at line addr.
+func (m *Memory) Write(addr uint64, w Word) {
+	if w == (Word{}) {
+		delete(m.lines, addr)
+		return
+	}
+	m.lines[addr] = w
+}
+
+// Len returns the number of non-zero lines.
+func (m *Memory) Len() int { return len(m.lines) }
+
+// ForEach calls fn for every non-zero line (iteration order is not
+// deterministic; callers that need determinism must sort).
+func (m *Memory) ForEach(fn func(addr uint64, w Word)) {
+	for a, w := range m.lines {
+		fn(a, w)
+	}
+}
+
+// Snapshot returns a deep copy of the memory contents, used by tests to
+// compare pre-fault and post-recovery state.
+func (m *Memory) Snapshot() map[uint64]Word {
+	s := make(map[uint64]Word, len(m.lines))
+	for a, w := range m.lines {
+		s[a] = w
+	}
+	return s
+}
+
+// AnyPoison returns one poisoned line address if any line is poisoned.
+func (m *Memory) AnyPoison() (uint64, bool) {
+	for a, w := range m.lines {
+		if w.Poison {
+			return a, true
+		}
+	}
+	return 0, false
+}

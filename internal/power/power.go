@@ -1,0 +1,95 @@
+// Package power estimates on-chip energy and power from the
+// simulator's event counts, in the spirit of the paper's CACTI/Wattch
+// models updated to 45 nm (Chapter 5). Absolute values are order-of-
+// magnitude estimates; the evaluation (Figs 6.6b and 6.8) compares
+// schemes relative to each other and to a no-checkpointing baseline,
+// which the per-event accounting preserves.
+package power
+
+import "repro/internal/stats"
+
+// Model holds per-event energies (nanojoules) and static power (watts)
+// for a 45 nm, 1 GHz manycore tile.
+type Model struct {
+	// Dynamic energy per event, in nJ.
+	EPerInstr  float64 // core datapath, per committed instruction
+	EL1Access  float64
+	EL2Access  float64
+	EDirAccess float64 // directory lookup/update per protocol message
+	ENetMsg    float64 // interconnect traversal per message
+	EDRAM      float64 // per 32-byte line access at the controller
+	ELogEntry  float64 // old-value read + log write bookkeeping
+
+	// Static (leakage + clock) power, in W.
+	PStaticCore   float64 // per core+caches tile
+	PStaticUncore float64 // whole-chip interconnect, controllers
+
+	// DepOverheadFrac is the extra static+dynamic cost of the Rebound
+	// hardware (Dep registers, WSIG, LW-ID fields): the paper reports
+	// a 1.3% power cost for these structures (§6.5).
+	DepOverheadFrac float64
+}
+
+// Default45nm returns the model used by the evaluation.
+func Default45nm() Model {
+	return Model{
+		EPerInstr:       0.08,
+		EL1Access:       0.02,
+		EL2Access:       0.06,
+		EDirAccess:      0.03,
+		ENetMsg:         0.05,
+		EDRAM:           12.0,
+		ELogEntry:       14.0,
+		PStaticCore:     0.25,
+		PStaticUncore:   3.0,
+		DepOverheadFrac: 0.013,
+	}
+}
+
+// Report is the energy/power outcome of one run.
+type Report struct {
+	DynamicJ float64
+	StaticJ  float64
+	TotalJ   float64
+	// Seconds is the run's wall-clock time at 1 GHz.
+	Seconds float64
+	// AvgPowerW is TotalJ / Seconds.
+	AvgPowerW float64
+	// ED2 is the energy-delay-squared product (J·s²), the metric the
+	// paper uses to summarise efficiency (§6.5).
+	ED2 float64
+}
+
+const nJ = 1e-9
+
+// Compute derives a Report from run statistics. hasDepHardware marks
+// schemes that carry the Rebound structures (anything except the
+// no-checkpointing baseline and plain Global).
+func (mo Model) Compute(st *stats.Stats, hasDepHardware bool) Report {
+	var r Report
+	l1 := float64(st.L1Hits + st.L1Misses)
+	l2 := float64(st.L2Hits+st.L2Misses) + float64(st.L2WritebacksCkpt+st.L2WritebacksDemand)
+	msgs := float64(st.CohMessages + st.DepMessages + st.ProtoMessages)
+	dram := float64(st.MemReads + st.MemWrites)
+
+	r.DynamicJ = nJ * (float64(st.TotalInstructions())*mo.EPerInstr +
+		l1*mo.EL1Access +
+		l2*mo.EL2Access +
+		msgs*(mo.EDirAccess+mo.ENetMsg) +
+		dram*mo.EDRAM +
+		float64(st.LogEntries)*mo.ELogEntry)
+
+	r.Seconds = float64(st.EndCycle) * 1e-9 // 1 GHz
+	r.StaticJ = (mo.PStaticCore*float64(st.NProcs) + mo.PStaticUncore) * r.Seconds
+
+	if hasDepHardware {
+		r.DynamicJ *= 1 + mo.DepOverheadFrac
+		r.StaticJ *= 1 + mo.DepOverheadFrac
+	}
+	r.TotalJ = r.DynamicJ + r.StaticJ
+	if r.Seconds > 0 {
+		r.AvgPowerW = r.TotalJ / r.Seconds
+	}
+	r.ED2 = r.TotalJ * r.Seconds * r.Seconds
+	return r
+}

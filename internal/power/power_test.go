@@ -1,0 +1,83 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleStats() *stats.Stats {
+	st := stats.New(4)
+	for i := range st.Instructions {
+		st.Instructions[i] = 1_000_000
+	}
+	st.L1Hits, st.L1Misses = 900_000, 100_000
+	st.L2Hits, st.L2Misses = 80_000, 20_000
+	st.CohMessages, st.DepMessages = 50_000, 2_000
+	st.MemReads, st.MemWrites = 20_000, 30_000
+	st.LogEntries = 5_000
+	st.EndCycle = 2_000_000
+	return st
+}
+
+func TestComputeBasics(t *testing.T) {
+	mo := Default45nm()
+	r := mo.Compute(sampleStats(), false)
+	if r.DynamicJ <= 0 || r.StaticJ <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	if r.TotalJ != r.DynamicJ+r.StaticJ {
+		t.Fatal("total mismatch")
+	}
+	if r.Seconds != 2e-3 {
+		t.Fatalf("seconds = %g, want 2e-3", r.Seconds)
+	}
+	wantP := r.TotalJ / r.Seconds
+	if r.AvgPowerW != wantP {
+		t.Fatal("power mismatch")
+	}
+	if r.ED2 != r.TotalJ*r.Seconds*r.Seconds {
+		t.Fatal("ED2 mismatch")
+	}
+}
+
+func TestDepHardwareOverhead(t *testing.T) {
+	mo := Default45nm()
+	st := sampleStats()
+	plain := mo.Compute(st, false)
+	dep := mo.Compute(st, true)
+	ratio := dep.TotalJ / plain.TotalJ
+	if ratio <= 1.0 || ratio > 1.02 {
+		t.Fatalf("dep hardware overhead ratio = %f, want ~1.013", ratio)
+	}
+}
+
+func TestMoreWorkMoreEnergy(t *testing.T) {
+	mo := Default45nm()
+	a := sampleStats()
+	b := sampleStats()
+	b.MemWrites *= 4
+	b.LogEntries *= 4
+	ra, rb := mo.Compute(a, false), mo.Compute(b, false)
+	if rb.DynamicJ <= ra.DynamicJ {
+		t.Fatal("more memory traffic must cost more dynamic energy")
+	}
+	// Same end cycle: static energy unchanged.
+	if rb.StaticJ != ra.StaticJ {
+		t.Fatal("static energy should only depend on time and procs")
+	}
+}
+
+func TestLongerRunMorePower(t *testing.T) {
+	mo := Default45nm()
+	a := sampleStats()
+	b := sampleStats()
+	b.EndCycle *= 2
+	ra, rb := mo.Compute(a, false), mo.Compute(b, false)
+	if rb.StaticJ <= ra.StaticJ {
+		t.Fatal("longer run must leak more")
+	}
+	if rb.ED2 <= ra.ED2 {
+		t.Fatal("ED2 must grow with delay")
+	}
+}

@@ -1,0 +1,192 @@
+// Package sig implements the Write Signature (WSIG) of Rebound §3.3.2:
+// a 512–1024-bit Bloom filter that encodes the line addresses a
+// processor has written (or read exclusively) in the current checkpoint
+// interval. Membership tests never produce false negatives; false
+// positives merely record non-existing dependences (they can enlarge
+// the interaction set, measured in Table 6.1 of the paper).
+//
+// The package also offers an Exact signature (a set) used to quantify
+// the false-positive impact, and a Paired signature that runs both and
+// counts disagreements.
+package sig
+
+import "math/bits"
+
+// Signature answers "might this processor have written line addr in the
+// current interval?".
+type Signature interface {
+	// Insert records a written line address.
+	Insert(addr uint64)
+	// Test reports whether addr may have been inserted since the last
+	// Clear. Implementations must never return false for an address
+	// that was inserted (no false negatives).
+	Test(addr uint64) bool
+	// Clear empties the signature (done at the start of every
+	// checkpoint interval).
+	Clear()
+	// CopyFrom overwrites the receiver with the contents of src, which
+	// must be the same concrete type.
+	CopyFrom(src Signature)
+}
+
+// Bloom is the hardware-faithful WSIG: k hash functions over a bit
+// register, as in Notary's PBX hashing referenced by the paper.
+type Bloom struct {
+	bitsArr []uint64
+	nbits   uint
+	k       int
+}
+
+// NewBloom returns a Bloom signature with nbits bits (rounded up to a
+// multiple of 64; the paper uses 512–1024) and k hash functions.
+func NewBloom(nbits, k int) *Bloom {
+	if nbits < 64 {
+		nbits = 64
+	}
+	if k < 1 {
+		k = 1
+	}
+	words := (nbits + 63) / 64
+	return &Bloom{bitsArr: make([]uint64, words), nbits: uint(words * 64), k: k}
+}
+
+// mix implements a splitmix64-style finalizer; distinct seeds give the
+// independent hash functions.
+func mix(x, seed uint64) uint64 {
+	x += 0x9e3779b97f4a7c15 * (seed + 1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Insert records addr.
+func (b *Bloom) Insert(addr uint64) {
+	for i := 0; i < b.k; i++ {
+		bit := mix(addr, uint64(i)) % uint64(b.nbits)
+		b.bitsArr[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// Test reports possible membership.
+func (b *Bloom) Test(addr uint64) bool {
+	for i := 0; i < b.k; i++ {
+		bit := mix(addr, uint64(i)) % uint64(b.nbits)
+		if b.bitsArr[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties the filter.
+func (b *Bloom) Clear() {
+	for i := range b.bitsArr {
+		b.bitsArr[i] = 0
+	}
+}
+
+// CopyFrom copies another Bloom's bits.
+func (b *Bloom) CopyFrom(src Signature) {
+	s := src.(*Bloom)
+	copy(b.bitsArr, s.bitsArr)
+	b.nbits, b.k = s.nbits, s.k
+}
+
+// PopCount returns the number of set bits (occupancy), useful for
+// estimating the false-positive rate.
+func (b *Bloom) PopCount() int {
+	n := 0
+	for _, w := range b.bitsArr {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Exact is an idealised signature with no false positives, used as the
+// measurement baseline for Table 6.1 row 1.
+type Exact struct {
+	set map[uint64]struct{}
+}
+
+// NewExact returns an empty exact signature.
+func NewExact() *Exact { return &Exact{set: make(map[uint64]struct{})} }
+
+// Insert records addr.
+func (e *Exact) Insert(addr uint64) { e.set[addr] = struct{}{} }
+
+// Test reports exact membership.
+func (e *Exact) Test(addr uint64) bool {
+	_, ok := e.set[addr]
+	return ok
+}
+
+// Clear empties the signature.
+func (e *Exact) Clear() { clear(e.set) }
+
+// CopyFrom copies another Exact's contents.
+func (e *Exact) CopyFrom(src Signature) {
+	s := src.(*Exact)
+	clear(e.set)
+	for k := range s.set {
+		e.set[k] = struct{}{}
+	}
+}
+
+// Len returns the number of distinct inserted addresses.
+func (e *Exact) Len() int { return len(e.set) }
+
+// Paired runs a Bloom filter alongside an exact set and counts the
+// tests on which they disagree (Bloom false positives).
+type Paired struct {
+	Bloom *Bloom
+	exact *Exact
+
+	// Tests counts membership queries; FalsePositives counts queries
+	// where the Bloom filter said yes but the exact set said no.
+	Tests          uint64
+	FalsePositives uint64
+}
+
+// NewPaired returns a paired signature with the given Bloom geometry.
+func NewPaired(nbits, k int) *Paired {
+	return &Paired{Bloom: NewBloom(nbits, k), exact: NewExact()}
+}
+
+// Insert records addr in both members.
+func (p *Paired) Insert(addr uint64) {
+	p.Bloom.Insert(addr)
+	p.exact.Insert(addr)
+}
+
+// Test returns the Bloom answer while accounting disagreements.
+func (p *Paired) Test(addr uint64) bool {
+	got := p.Bloom.Test(addr)
+	p.Tests++
+	if got && !p.exact.Test(addr) {
+		p.FalsePositives++
+	}
+	return got
+}
+
+// TestExact returns the idealised answer without accounting.
+func (p *Paired) TestExact(addr uint64) bool { return p.exact.Test(addr) }
+
+// Clear empties both members (accounting counters are preserved; they
+// are cumulative over a run).
+func (p *Paired) Clear() {
+	p.Bloom.Clear()
+	p.exact.Clear()
+}
+
+// CopyFrom copies another Paired's filter contents.
+func (p *Paired) CopyFrom(src Signature) {
+	s := src.(*Paired)
+	p.Bloom.CopyFrom(s.Bloom)
+	p.exact.CopyFrom(s.exact)
+}
+
+var (
+	_ Signature = (*Bloom)(nil)
+	_ Signature = (*Exact)(nil)
+	_ Signature = (*Paired)(nil)
+)

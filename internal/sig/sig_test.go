@@ -1,0 +1,143 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBloom(1024, 4)
+		ins := make([]uint64, 0, n)
+		for i := 0; i < int(n); i++ {
+			a := rng.Uint64()
+			b.Insert(a)
+			ins = append(ins, a)
+		}
+		for _, a := range ins {
+			if !b.Test(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomClear(t *testing.T) {
+	b := NewBloom(512, 3)
+	b.Insert(42)
+	if !b.Test(42) {
+		t.Fatal("inserted element missing")
+	}
+	b.Clear()
+	if b.Test(42) {
+		t.Fatal("Clear did not empty filter")
+	}
+	if b.PopCount() != 0 {
+		t.Fatal("PopCount != 0 after clear")
+	}
+}
+
+func TestBloomFalsePositiveRateReasonable(t *testing.T) {
+	// With 1024 bits, 4 hashes and ~100 inserted lines, the classical
+	// FP rate is about (1-e^{-400/1024})^4 ≈ 1%. Allow generous slack.
+	b := NewBloom(1024, 4)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		b.Insert(rng.Uint64())
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if b.Test(rng.Uint64()) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.08 {
+		t.Fatalf("false positive rate %.3f too high for 1024-bit / 100-entry filter", rate)
+	}
+}
+
+func TestBloomMinimumGeometry(t *testing.T) {
+	b := NewBloom(1, 0) // degenerate parameters get clamped
+	b.Insert(9)
+	if !b.Test(9) {
+		t.Fatal("clamped filter lost an element")
+	}
+}
+
+func TestExact(t *testing.T) {
+	e := NewExact()
+	e.Insert(5)
+	e.Insert(5)
+	if e.Len() != 1 || !e.Test(5) || e.Test(6) {
+		t.Fatal("exact signature misbehaved")
+	}
+	e.Clear()
+	if e.Len() != 0 || e.Test(5) {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := NewBloom(512, 4)
+	a.Insert(123)
+	b := NewBloom(512, 4)
+	b.CopyFrom(a)
+	if !b.Test(123) {
+		t.Fatal("Bloom CopyFrom lost content")
+	}
+	a.Clear()
+	if !b.Test(123) {
+		t.Fatal("CopyFrom aliased storage")
+	}
+
+	e1, e2 := NewExact(), NewExact()
+	e1.Insert(9)
+	e2.CopyFrom(e1)
+	e1.Clear()
+	if !e2.Test(9) {
+		t.Fatal("Exact CopyFrom aliased storage")
+	}
+}
+
+func TestPairedCountsFalsePositives(t *testing.T) {
+	p := NewPaired(64, 2) // deliberately tiny filter to force FPs
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 64; i++ {
+		p.Insert(rng.Uint64())
+	}
+	for i := 0; i < 5000; i++ {
+		a := rng.Uint64()
+		got := p.Test(a)
+		if p.TestExact(a) && !got {
+			t.Fatal("paired signature produced a false negative")
+		}
+	}
+	if p.FalsePositives == 0 {
+		t.Fatal("tiny saturated filter should have produced false positives")
+	}
+	if p.Tests != 5000 {
+		t.Fatalf("Tests = %d, want 5000", p.Tests)
+	}
+}
+
+func TestPairedClearPreservesCounters(t *testing.T) {
+	p := NewPaired(64, 2)
+	p.Insert(1)
+	p.Test(1)
+	before := p.Tests
+	p.Clear()
+	if p.Tests != before {
+		t.Fatal("Clear must not reset cumulative counters")
+	}
+	if p.Test(1) && p.TestExact(1) {
+		t.Fatal("Clear did not empty contents")
+	}
+}

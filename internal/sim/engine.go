@@ -1,0 +1,102 @@
+// Package sim provides the deterministic discrete-event simulation
+// engine underneath the Rebound manycore model. It is single-threaded:
+// events fire in (time, insertion-order) order, so a given configuration
+// and seed always produces the same execution.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, in core clock cycles (1 GHz in the
+// paper's configuration, so 1 cycle = 1 ns).
+type Cycle = uint64
+
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	heap    eventHeap
+	stopped bool
+}
+
+// NewEngine returns an engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule runs fn after delay cycles. A delay of 0 runs fn after the
+// current event completes (still at the same cycle). Events scheduled
+// for the same cycle fire in scheduling order.
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	e.seq++
+	heap.Push(&e.heap, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At runs fn at the given absolute cycle, which must not be in the past.
+func (e *Engine) At(when Cycle, fn func()) {
+	if when < e.now {
+		when = e.now
+	}
+	e.Schedule(when-e.now, fn)
+}
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Stop makes Run return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run fires events until the queue is empty, Stop is called, or the
+// next event lies beyond limit (0 means no limit). It returns the cycle
+// at which the engine stopped.
+func (e *Engine) Run(limit Cycle) Cycle {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		ev := e.heap[0]
+		if limit != 0 && ev.at > limit {
+			e.now = limit
+			return e.now
+		}
+		heap.Pop(&e.heap)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step fires exactly one event if any is pending and returns whether an
+// event fired. Used by tests that need fine-grained control.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}

@@ -1,0 +1,48 @@
+package sim
+
+// RNG is a small splitmix64 pseudo-random generator. It is used instead
+// of math/rand so that its state is a single word that can be captured
+// in processor snapshots and restored on rollback (re-execution after a
+// rollback must regenerate the same instruction stream).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// State returns the current internal state (for snapshots).
+func (r *RNG) State() uint64 { return r.state }
+
+// Restore resets the internal state (for rollback).
+func (r *RNG) Restore(s uint64) { r.state = s }
+
+// Next returns the next 64-bit pseudo-random value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Range returns a value in [lo, hi]. lo must be <= hi.
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("sim: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(10, func() { got = append(got, 3) }) // same cycle: FIFO
+	end := e.Run(0)
+	if end != 10 {
+		t.Fatalf("end cycle = %d, want 10", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order = %v", got)
+	}
+}
+
+func TestZeroDelayRunsAtSameCycle(t *testing.T) {
+	e := NewEngine()
+	var at Cycle
+	e.Schedule(7, func() {
+		e.Schedule(0, func() { at = e.Now() })
+	})
+	e.Run(0)
+	if at != 7 {
+		t.Fatalf("zero-delay event fired at %d, want 7", at)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(100, func() { fired = true })
+	end := e.Run(50)
+	if fired || end != 50 {
+		t.Fatalf("limit violated: fired=%v end=%d", fired, end)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run(0)
+	if !fired || e.Now() != 100 {
+		t.Fatal("resumed run did not fire remaining event")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++; e.Stop() })
+	e.Schedule(2, func() { n++ })
+	e.Run(0)
+	if n != 1 {
+		t.Fatalf("Stop did not halt the engine: n=%d", n)
+	}
+}
+
+func TestAtClampsToPresent(t *testing.T) {
+	e := NewEngine()
+	var at Cycle = 999
+	e.Schedule(10, func() {
+		e.At(3, func() { at = e.Now() }) // in the past: clamp to now
+	})
+	e.Run(0)
+	if at != 10 {
+		t.Fatalf("past At fired at %d, want 10", at)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 || e.Now() != 1 {
+		t.Fatal("first Step misbehaved")
+	}
+	if !e.Step() || n != 2 || e.Now() != 2 {
+		t.Fatal("second Step misbehaved")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		e := NewEngine()
+		rng := NewRNG(42)
+		var trace []uint64
+		var rec func()
+		count := 0
+		rec = func() {
+			trace = append(trace, e.Now())
+			count++
+			if count < 200 {
+				e.Schedule(Cycle(rng.Intn(10)+1), rec)
+			}
+		}
+		e.Schedule(1, rec)
+		e.Run(0)
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic trace length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGSnapshotRestore(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		for i := 0; i < int(n); i++ {
+			r.Next()
+		}
+		s := r.State()
+		a := make([]uint64, 8)
+		for i := range a {
+			a[i] = r.Next()
+		}
+		r.Restore(s)
+		for i := range a {
+			if r.Next() != a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGRangesAndPanics(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Range(3, 5); v < 3 || v > 5 {
+			t.Fatalf("Range out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+	mustPanic(t, func() { r.Intn(0) })
+	mustPanic(t, func() { r.Range(5, 3) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSizes(t *testing.T) {
+	s := New(8)
+	if s.NProcs != 8 || len(s.Instructions) != 8 || len(s.WBDelay) != 8 ||
+		len(s.WBImbalance) != 8 || len(s.SyncDelay) != 8 || len(s.RollStall) != 8 {
+		t.Fatal("New did not size per-core slices")
+	}
+}
+
+func TestTotalsAndStalls(t *testing.T) {
+	s := New(3)
+	s.Instructions[0], s.Instructions[1], s.Instructions[2] = 10, 20, 30
+	if s.TotalInstructions() != 60 {
+		t.Fatal("TotalInstructions wrong")
+	}
+	s.WBDelay[0], s.WBImbalance[1], s.SyncDelay[2] = 5, 7, 9
+	wb, imb, sync := s.StallTotals()
+	if wb != 5 || imb != 7 || sync != 9 {
+		t.Fatalf("StallTotals = %d %d %d", wb, imb, sync)
+	}
+}
+
+func TestICHKFractions(t *testing.T) {
+	s := New(4)
+	if s.AvgICHKFraction() != 0 || s.AvgICHKExactFraction() != 0 {
+		t.Fatal("empty stats should report 0 ICHK")
+	}
+	s.Checkpoints = append(s.Checkpoints,
+		CkptRecord{Size: 4, SizeExact: 4},
+		CkptRecord{Size: 2, SizeExact: 1},
+	)
+	if got := s.AvgICHKFraction(); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("AvgICHKFraction = %f, want 0.75", got)
+	}
+	if got := s.AvgICHKExactFraction(); math.Abs(got-0.625) > 1e-9 {
+		t.Fatalf("AvgICHKExactFraction = %f, want 0.625", got)
+	}
+	if got := s.ICHKFalsePositiveIncreasePct(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("FP increase = %f%%, want 20%%", got)
+	}
+}
+
+func TestFPIncreaseZeroWhenNoExact(t *testing.T) {
+	s := New(4)
+	s.Checkpoints = append(s.Checkpoints, CkptRecord{Size: 2, SizeExact: 0})
+	if s.ICHKFalsePositiveIncreasePct() != 0 {
+		t.Fatal("FP increase with zero exact baseline should be 0")
+	}
+}
+
+func TestAvgCheckpointInterval(t *testing.T) {
+	s := New(4)
+	s.EndCycle = 1000
+	// No checkpoints: interval is the whole run.
+	if got := s.AvgCheckpointInterval(); got != 1000 {
+		t.Fatalf("interval = %f, want 1000", got)
+	}
+	// 8 participations over 4 procs = 2 checkpoints each = 500 cycles.
+	s.Checkpoints = append(s.Checkpoints, CkptRecord{Size: 4}, CkptRecord{Size: 4})
+	if got := s.AvgCheckpointInterval(); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("interval = %f, want 500", got)
+	}
+}
+
+func TestMessageIncreasePct(t *testing.T) {
+	s := New(1)
+	if s.MessageIncreasePct() != 0 {
+		t.Fatal("no traffic should report 0%")
+	}
+	s.CohMessages, s.DepMessages = 200, 10
+	if got := s.MessageIncreasePct(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("message increase = %f%%, want 5%%", got)
+	}
+}
+
+func TestAvgRecoveryCycles(t *testing.T) {
+	s := New(2)
+	if s.AvgRecoveryCycles() != 0 {
+		t.Fatal("no rollbacks should report 0")
+	}
+	s.Rollbacks = append(s.Rollbacks,
+		RollRecord{Start: 100, End: 300},
+		RollRecord{Start: 500, End: 900},
+	)
+	if got := s.AvgRecoveryCycles(); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("avg recovery = %f, want 300", got)
+	}
+}

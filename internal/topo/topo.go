@@ -1,0 +1,88 @@
+// Package topo models the tiled-manycore layout of Rebound's Figure 3.1:
+// each tile holds a core, private L1/L2 and a directory module slice.
+// It provides the address-to-home-directory mapping and the multistage
+// interconnect latency model of the simulated configuration (Fig 4.3a:
+// ~60-cycle average round trip between L2s at 64 tiles).
+package topo
+
+import "repro/internal/sim"
+
+// Topology describes a chip with N tiles on a dimX × dimY mesh.
+type Topology struct {
+	N          int
+	dimX, dimY int
+
+	// Base is the fixed per-message overhead (injection, routing setup).
+	Base sim.Cycle
+	// PerHop is the added latency per mesh hop.
+	PerHop sim.Cycle
+}
+
+// New returns a topology for n tiles with latency parameters tuned so
+// that the average L2-to-L2 round trip at 64 tiles is close to the
+// paper's 60 cycles.
+func New(n int) *Topology {
+	if n < 1 {
+		panic("topo: need at least one tile")
+	}
+	x := 1
+	for x*x < n {
+		x++
+	}
+	y := (n + x - 1) / x
+	return &Topology{N: n, dimX: x, dimY: y, Base: 8, PerHop: 4}
+}
+
+// Home returns the tile whose directory module owns line addr.
+// Lines are interleaved across all tiles.
+func (t *Topology) Home(line uint64) int {
+	// Mix the address first so that strided access patterns still
+	// spread across directories.
+	x := line
+	x = (x ^ (x >> 17)) * 0xed5ad4bb
+	return int(x % uint64(t.N))
+}
+
+// coords returns the mesh position of tile i.
+func (t *Topology) coords(i int) (int, int) {
+	return i % t.dimX, i / t.dimX
+}
+
+// Hops returns the Manhattan distance between two tiles.
+func (t *Topology) Hops(from, to int) int {
+	fx, fy := t.coords(from)
+	tx, ty := t.coords(to)
+	dx, dy := fx-tx, fy-ty
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Latency returns the one-way message latency between two tiles.
+// A tile talking to itself still pays the base cost (L2-to-directory
+// handoff within the tile).
+func (t *Topology) Latency(from, to int) sim.Cycle {
+	return t.Base + sim.Cycle(t.Hops(from, to))*t.PerHop
+}
+
+// RoundTrip returns the two-way latency between tiles.
+func (t *Topology) RoundTrip(from, to int) sim.Cycle {
+	return 2 * t.Latency(from, to)
+}
+
+// AvgRemoteRoundTrip returns the average round-trip latency from tile 0
+// to every other tile, a sanity metric against the paper's 60 cycles.
+func (t *Topology) AvgRemoteRoundTrip() float64 {
+	if t.N == 1 {
+		return float64(t.RoundTrip(0, 0))
+	}
+	var sum sim.Cycle
+	for i := 1; i < t.N; i++ {
+		sum += t.RoundTrip(0, i)
+	}
+	return float64(sum) / float64(t.N-1)
+}

@@ -1,0 +1,86 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHomeInRangeAndStable(t *testing.T) {
+	f := func(line uint64, n uint8) bool {
+		tp := New(int(n%64) + 1)
+		h := tp.Home(line)
+		return h >= 0 && h < tp.N && h == tp.Home(line)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomeSpreads(t *testing.T) {
+	tp := New(16)
+	counts := make([]int, 16)
+	for i := uint64(0); i < 16000; i++ {
+		counts[tp.Home(i)]++
+	}
+	for h, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("home %d got %d of 16000 lines; interleaving is skewed", h, c)
+		}
+	}
+}
+
+func TestLatencySymmetricAndPositive(t *testing.T) {
+	tp := New(64)
+	for i := 0; i < tp.N; i += 7 {
+		for j := 0; j < tp.N; j += 5 {
+			a, b := tp.Latency(i, j), tp.Latency(j, i)
+			if a != b {
+				t.Fatalf("latency asymmetric: %d vs %d", a, b)
+			}
+			if a < tp.Base {
+				t.Fatalf("latency below base: %d", a)
+			}
+		}
+	}
+	if tp.Latency(3, 3) != tp.Base {
+		t.Fatal("self latency should be the base cost")
+	}
+}
+
+func TestHops(t *testing.T) {
+	tp := New(64) // 8x8 mesh
+	if got := tp.Hops(0, 63); got != 14 {
+		t.Fatalf("corner-to-corner hops = %d, want 14", got)
+	}
+	if got := tp.Hops(0, 1); got != 1 {
+		t.Fatalf("neighbour hops = %d, want 1", got)
+	}
+}
+
+func TestAvgRemoteRoundTripNearPaper(t *testing.T) {
+	tp := New(64)
+	avg := tp.AvgRemoteRoundTrip()
+	// Paper: ~60 cycles average round trip between L2s at 64 tiles.
+	if avg < 40 || avg > 90 {
+		t.Fatalf("avg remote RT = %.1f, want in the vicinity of 60", avg)
+	}
+}
+
+func TestSingleTile(t *testing.T) {
+	tp := New(1)
+	if tp.Home(12345) != 0 {
+		t.Fatal("single-tile home must be 0")
+	}
+	if tp.AvgRemoteRoundTrip() != float64(2*tp.Base) {
+		t.Fatal("single-tile avg RT should be the self round trip")
+	}
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0)
+}

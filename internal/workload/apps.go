@@ -1,0 +1,138 @@
+package workload
+
+// The application profiles below model the communication structure of
+// the paper's workloads (Fig 4.3b) at the simulator's scaled checkpoint
+// interval. The knobs that matter for Rebound are: how often the whole
+// machine synchronises at barriers (any barrier inside a checkpoint
+// interval chains every processor into one interaction set — Ocean,
+// Radix, FFT, LU), how many dynamic locks cross-link processors
+// (Raytrace, Radiosity, Cholesky), and how local the data sharing is
+// (Blackscholes and Apache touch almost only private/cluster data).
+// Footprints are sized so that a core dirties a few hundred distinct L2
+// lines per scaled interval, the regime of the paper's evaluation.
+
+// SPLASH2 returns the twelve SPLASH-2 profiles of Fig 4.3(b).
+func SPLASH2() []*Profile {
+	return []*Profile{
+		{Name: "Barnes", Suite: "splash2", MemRatio: 0.30, WriteFrac: 0.30,
+			PrivateLines: 60, SharedLines: 53, GlobalLines: 128,
+			SharedFrac: 0.15, GlobalFrac: 0.10, GlobalWriteFrac: 0.005, ClusterSize: 8,
+			BarrierPeriod: 60000, LockRate: 0.002, NLocks: 16, CSLen: 3, Imbalance: 0.20, ColdFrac: 0.03},
+		{Name: "Cholesky", Suite: "splash2", MemRatio: 0.32, WriteFrac: 0.30,
+			PrivateLines: 75, SharedLines: 67, GlobalLines: 64,
+			SharedFrac: 0.20, GlobalFrac: 0.15, GlobalWriteFrac: 0.01, ClusterSize: 8,
+			LockRate: 0.002, NLocks: 16, CSLen: 3, GlobalLockFrac: 0.1, Imbalance: 0.35, ColdFrac: 0.03},
+		{Name: "FFT", Suite: "splash2", MemRatio: 0.35, WriteFrac: 0.40,
+			PrivateLines: 90, SharedLines: 107, GlobalLines: 128,
+			SharedFrac: 0.25, GlobalFrac: 0.20, ClusterSize: 16,
+			BarrierPeriod: 30000, Imbalance: 0.25, ColdFrac: 0.06},
+		{Name: "FMM", Suite: "splash2", MemRatio: 0.30, WriteFrac: 0.28,
+			PrivateLines: 67, SharedLines: 53, GlobalLines: 96,
+			SharedFrac: 0.15, GlobalFrac: 0.10, GlobalWriteFrac: 0.01, ClusterSize: 8,
+			BarrierPeriod: 70000, LockRate: 0.001, NLocks: 16, CSLen: 3, Imbalance: 0.30, ColdFrac: 0.03},
+		{Name: "Radix", Suite: "splash2", MemRatio: 0.35, WriteFrac: 0.45,
+			PrivateLines: 90, SharedLines: 107, GlobalLines: 256,
+			SharedFrac: 0.30, GlobalFrac: 0.25, ClusterSize: 32,
+			BarrierPeriod: 25000, Imbalance: 0.20, ColdFrac: 0.08},
+		{Name: "LU-C", Suite: "splash2", MemRatio: 0.33, WriteFrac: 0.35,
+			PrivateLines: 75, SharedLines: 80, GlobalLines: 96,
+			SharedFrac: 0.20, GlobalFrac: 0.15, ClusterSize: 8,
+			BarrierPeriod: 40000, Imbalance: 0.50, ColdFrac: 0.04},
+		{Name: "LU-NC", Suite: "splash2", MemRatio: 0.33, WriteFrac: 0.35,
+			PrivateLines: 82, SharedLines: 80, GlobalLines: 128,
+			SharedFrac: 0.25, GlobalFrac: 0.15, ClusterSize: 8,
+			BarrierPeriod: 35000, Imbalance: 0.50, ColdFrac: 0.04},
+		{Name: "Volrend", Suite: "splash2", MemRatio: 0.28, WriteFrac: 0.22,
+			PrivateLines: 52, SharedLines: 53, GlobalLines: 64,
+			SharedFrac: 0.15, GlobalFrac: 0.10, GlobalWriteFrac: 0.03, ClusterSize: 8,
+			LockRate: 0.003, NLocks: 32, CSLen: 2, Imbalance: 0.25, ColdFrac: 0.02},
+		{Name: "Water-Sp", Suite: "splash2", MemRatio: 0.28, WriteFrac: 0.25,
+			PrivateLines: 60, SharedLines: 26, GlobalLines: 32,
+			SharedFrac: 0.08, GlobalFrac: 0.05, GlobalWriteFrac: 0.01, ClusterSize: 8,
+			BarrierPeriod: 160000, LockRate: 0.001, NLocks: 16, CSLen: 2, Imbalance: 0.15, ColdFrac: 0.02},
+		{Name: "Water-Nsq", Suite: "splash2", MemRatio: 0.30, WriteFrac: 0.28,
+			PrivateLines: 63, SharedLines: 40, GlobalLines: 64,
+			SharedFrac: 0.14, GlobalFrac: 0.10, GlobalWriteFrac: 0.003, ClusterSize: 8,
+			BarrierPeriod: 110000, LockRate: 0.002, NLocks: 16, CSLen: 3, Imbalance: 0.20, ColdFrac: 0.02},
+		{Name: "Radiosity", Suite: "splash2", MemRatio: 0.30, WriteFrac: 0.30,
+			PrivateLines: 67, SharedLines: 67, GlobalLines: 128,
+			SharedFrac: 0.20, GlobalFrac: 0.20, GlobalWriteFrac: 0.01, ClusterSize: 8,
+			LockRate: 0.0025, NLocks: 16, CSLen: 3, GlobalLockFrac: 0.15, Imbalance: 0.30, ColdFrac: 0.03},
+		{Name: "Ocean", Suite: "splash2", MemRatio: 0.35, WriteFrac: 0.40,
+			PrivateLines: 105, SharedLines: 80, GlobalLines: 128,
+			SharedFrac: 0.20, GlobalFrac: 0.10, ClusterSize: 16,
+			// The paper: "Ocean has a barrier every 50k instructions" —
+			// many barriers per checkpoint interval.
+			BarrierPeriod: 15000, Imbalance: 0.30, ColdFrac: 0.06},
+	}
+}
+
+// Raytrace is listed with SPLASH-2 in the paper; its many dynamic locks
+// (ray-task queues) chain all processors together, giving a ~100% ICHK.
+func Raytrace() *Profile {
+	return &Profile{Name: "Raytrace", Suite: "splash2", MemRatio: 0.30, WriteFrac: 0.25,
+		PrivateLines: 60, SharedLines: 107, GlobalLines: 256,
+		SharedFrac: 0.25, GlobalFrac: 0.40, ClusterSize: 0, // one big cluster
+		LockRate: 0.02, NLocks: 64, CSLen: 2, GlobalLockFrac: 1, Imbalance: 0.25, ColdFrac: 0.03}
+}
+
+// PARSEC returns the PARSEC profiles of Fig 4.3(b) (simlarge inputs).
+func PARSEC() []*Profile {
+	return []*Profile{
+		{Name: "Blackscholes", Suite: "parsec", MemRatio: 0.28, WriteFrac: 0.30,
+			PrivateLines: 75, SharedLines: 24, GlobalLines: 16,
+			SharedFrac: 0.02, GlobalFrac: 0, ClusterSize: 4, Imbalance: 0.10, ColdFrac: 0.03},
+		{Name: "Fluidanimate", Suite: "parsec", MemRatio: 0.30, WriteFrac: 0.32,
+			PrivateLines: 67, SharedLines: 40, GlobalLines: 32,
+			SharedFrac: 0.10, GlobalFrac: 0.05, GlobalWriteFrac: 0.005, ClusterSize: 4,
+			BarrierPeriod: 120000, LockRate: 0.004, NLocks: 32, CSLen: 2, Imbalance: 0.20, ColdFrac: 0.04},
+		{Name: "Ferret", Suite: "parsec", MemRatio: 0.30, WriteFrac: 0.28,
+			PrivateLines: 60, SharedLines: 53, GlobalLines: 64,
+			SharedFrac: 0.15, GlobalFrac: 0.10, GlobalWriteFrac: 0.01, ClusterSize: 6,
+			LockRate: 0.002, NLocks: 12, CSLen: 3, GlobalLockFrac: 0.05, Imbalance: 0.30, ColdFrac: 0.05},
+		{Name: "Streamcluster", Suite: "parsec", MemRatio: 0.33, WriteFrac: 0.30,
+			PrivateLines: 82, SharedLines: 67, GlobalLines: 96,
+			SharedFrac: 0.18, GlobalFrac: 0.12, ClusterSize: 12,
+			BarrierPeriod: 28000, Imbalance: 0.30, ColdFrac: 0.08},
+	}
+}
+
+// Apache models the ab-driven web-server run: request-parallel work on
+// private buffers with light sharing through the accept path and a
+// read-mostly document cache.
+func Apache() *Profile {
+	return &Profile{Name: "Apache", Suite: "server", MemRatio: 0.30, WriteFrac: 0.35,
+		PrivateLines: 67, SharedLines: 24, GlobalLines: 32,
+		SharedFrac: 0.05, GlobalFrac: 0.10, GlobalWriteFrac: 0.005, ClusterSize: 4,
+		LockRate: 0.001, NLocks: 4, CSLen: 2, Imbalance: 0.15, ColdFrac: 0.04}
+}
+
+// Uniform is a featureless microbenchmark profile used by unit tests.
+func Uniform() *Profile {
+	return &Profile{Name: "Uniform", Suite: "micro", MemRatio: 0.34, WriteFrac: 0.35,
+		PrivateLines: 40, SharedLines: 24, GlobalLines: 16,
+		SharedFrac: 0.10, GlobalFrac: 0.10, ClusterSize: 4}
+}
+
+// All returns every application profile in the paper's order:
+// SPLASH-2 (including Raytrace), then PARSEC, then Apache.
+func All() []*Profile {
+	out := SPLASH2()
+	out = append(out, Raytrace())
+	out = append(out, PARSEC()...)
+	out = append(out, Apache())
+	return out
+}
+
+// ByName returns the named profile, or nil.
+func ByName(name string) *Profile {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	if name == "Uniform" {
+		return Uniform()
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Package workload generates the synthetic instruction streams that
+// stand in for the paper's SPLASH-2, PARSEC and Apache runs (Fig 4.3b).
+// Each application is a Profile: a parameterisation of the properties
+// that determine Rebound's behaviour — communication locality (cluster
+// size and shared-footprint mix), barrier frequency, lock rate, write
+// footprint per interval, load imbalance and output-I/O rate. Barriers
+// and locks are *ops*, expanded by the machine into real loads and
+// stores on shared synchronisation lines, so they create exactly the
+// dependence chains of Fig 4.2(b).
+//
+// Streams are deterministic and snapshot-restorable: a stream's state
+// is part of a processor's "register state", captured at checkpoints
+// and restored on rollback so re-execution regenerates the same ops.
+package workload
+
+import "fmt"
+
+// Kind discriminates the op types a stream can emit.
+type Kind uint8
+
+// Op kinds.
+const (
+	// Compute burns Arg cycles (and counts Arg instructions).
+	Compute Kind = iota
+	// Load reads line Arg.
+	Load
+	// Store writes line Arg.
+	Store
+	// Barrier synchronises all processors on barrier Arg.
+	Barrier
+	// Lock acquires lock Arg.
+	Lock
+	// Unlock releases lock Arg.
+	Unlock
+	// OutputIO performs output I/O, which must be preceded by a
+	// checkpoint (§6.4).
+	OutputIO
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Barrier:
+		return "barrier"
+	case Lock:
+		return "lock"
+	case Unlock:
+		return "unlock"
+	case OutputIO:
+		return "io"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Op is one unit of work emitted by a stream.
+type Op struct {
+	Kind Kind
+	// Arg is the cycle count (Compute), line address (Load/Store) or
+	// synchronisation object id (Barrier/Lock/Unlock).
+	Arg uint64
+}
+
+// Instructions returns how many instructions the op represents.
+func (o Op) Instructions() uint64 {
+	if o.Kind == Compute {
+		return o.Arg
+	}
+	return 1
+}
+
+// Address-space layout (line-granular). Each region is disjoint.
+const (
+	// PrivateBase(core) + offset: per-core private data.
+	privateStride = 1 << 24
+	// Cluster-shared regions.
+	clusterBase   = 1 << 40
+	clusterStride = 1 << 20
+	// Chip-global shared region.
+	globalBase = 1 << 48
+)
+
+// PrivateLine returns the line address of the core's private slot i.
+func PrivateLine(core int, i int) uint64 {
+	return uint64(core)*privateStride + uint64(i) + 1
+}
+
+// ClusterLine returns the line address of shared slot i of cluster c.
+func ClusterLine(c int, i int) uint64 {
+	return clusterBase + uint64(c)*clusterStride + uint64(i)
+}
+
+// GlobalLine returns the line address of chip-global shared slot i.
+func GlobalLine(i int) uint64 { return globalBase + uint64(i) }
+
+// coldBase hosts the per-core read-only streaming regions.
+const coldBase = uint64(1) << 52
+
+// ColdLine returns the line address of the core's cold-stream slot i.
+func ColdLine(core int, i uint64) uint64 {
+	return coldBase + uint64(core)<<30 + i
+}

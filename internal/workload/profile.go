@@ -1,0 +1,282 @@
+package workload
+
+import "repro/internal/sim"
+
+// Profile parameterises one application's behaviour.
+type Profile struct {
+	Name string
+	// Suite is "splash2", "parsec" or "server".
+	Suite string
+
+	// MemRatio is the fraction of instructions that are memory
+	// operations; the rest are compute.
+	MemRatio float64
+	// WriteFrac is the fraction of memory operations that are stores.
+	WriteFrac float64
+
+	// PrivateLines, SharedLines and GlobalLines size the three data
+	// regions (in cache lines). PrivateLines dominates the dirty
+	// footprint per checkpoint interval.
+	PrivateLines int
+	SharedLines  int
+	GlobalLines  int
+	// SharedFrac is the fraction of memory ops that touch shared data;
+	// of those, GlobalFrac go to the chip-global region and the rest to
+	// the core's cluster region.
+	SharedFrac float64
+	GlobalFrac float64
+	// GlobalWriteFrac is the store fraction for chip-global accesses.
+	// Global data is mostly read-shared in the modelled applications
+	// (lookup tables, scene data, configuration); leaving it at the
+	// full WriteFrac would transitively couple every cluster into one
+	// interaction set, which the paper's workloads do not show. A zero
+	// value defaults to WriteFrac/5.
+	GlobalWriteFrac float64
+	// ClusterSize is the communication-locality knob: cores are grouped
+	// into clusters of this many; cluster-shared accesses stay inside.
+	// 0 means "all cores form one cluster".
+	ClusterSize int
+
+	// BarrierPeriod is the number of instructions between global
+	// barriers (0 = no barriers). The paper notes Ocean barriers every
+	// ~50k instructions.
+	BarrierPeriod int
+	// LockRate is the per-op probability of entering a lock-protected
+	// critical section; NLocks is the size of the lock pool; CSLen is
+	// the number of ops inside a critical section. Locks are local to a
+	// core's cluster (fine-grained locks protect neighbouring data);
+	// GlobalLockFrac is the fraction of acquisitions that instead grab
+	// a chip-global lock (central task queues — Raytrace, Radiosity,
+	// Cholesky), which chains clusters together.
+	LockRate       float64
+	NLocks         int
+	CSLen          int
+	GlobalLockFrac float64
+
+	// Imbalance skews compute-burst lengths across cores: core i runs
+	// bursts scaled by 1 + Imbalance*i/(n-1). 0 = perfectly balanced.
+	Imbalance float64
+
+	// ColdFrac is the fraction of memory ops that stream through a
+	// large, per-core, read-only cold region (grid sweeps, key scans,
+	// input data): they always miss to main memory. This is the
+	// steady demand-DRAM traffic that bursty checkpoint writebacks
+	// interfere with (the IPCDelay of Fig 6.5). ColdLines sizes the
+	// region (default 1<<18 lines).
+	ColdFrac  float64
+	ColdLines int
+
+	// IOPeriod is the number of instructions between output-I/O
+	// operations (0 = none). IOCore restricts the I/O to one core
+	// (-1/0-default = every core); Fig 6.7 forces a single processor to
+	// checkpoint at twice the checkpoint frequency this way.
+	IOPeriod int
+	IOCore   int
+}
+
+// clusterOf returns the cluster index of a core.
+func (p *Profile) clusterOf(core, nprocs int) int {
+	cs := p.ClusterSize
+	if cs <= 0 || cs > nprocs {
+		cs = nprocs
+	}
+	return core / cs
+}
+
+// burst returns the nominal compute burst length (in instructions) so
+// that MemRatio holds on average: one memory op per burst.
+func (p *Profile) burst() int {
+	if p.MemRatio <= 0 {
+		return 16
+	}
+	b := int((1-p.MemRatio)/p.MemRatio + 0.5)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Stream generates the op sequence for one core. All state is in plain
+// fields so the whole struct value is a snapshot.
+type Stream struct {
+	prof   *Profile
+	core   int
+	nprocs int
+
+	rng sim.RNG
+
+	// instrs counts instructions emitted (compute weight included).
+	instrs uint64
+	// sinceBarrier and sinceIO count instructions since the last
+	// barrier/IO op.
+	sinceBarrier uint64
+	sinceIO      uint64
+	// barrierID cycles through barrier episodes.
+	barrierID uint64
+	// cs tracks the current critical section: ops remaining and lock id.
+	csRemaining int
+	csLock      uint64
+	// coldCursor walks the cold streaming region sequentially.
+	coldCursor uint64
+	// pendingMem alternates compute bursts with memory ops.
+	pendingMem bool
+}
+
+// NewStream returns the op stream of core (of nprocs) under p.
+func NewStream(p *Profile, core, nprocs int, seed uint64) *Stream {
+	return &Stream{
+		prof:   p,
+		core:   core,
+		nprocs: nprocs,
+		rng:    *sim.NewRNG(seed ^ (uint64(core)+1)*0x9e3779b97f4a7c15),
+	}
+}
+
+// State is an opaque snapshot of a stream (its full value).
+type State struct{ s Stream }
+
+// Snapshot captures the stream for checkpointing.
+func (s *Stream) Snapshot() State { return State{s: *s} }
+
+// Restore rewinds the stream to a snapshot (rollback).
+func (s *Stream) Restore(st State) { *s = st.s }
+
+// Instructions returns the instructions emitted so far.
+func (s *Stream) Instructions() uint64 { return s.instrs }
+
+// pickAddr chooses a target line for a memory op and reports whether it
+// falls in the chip-global region.
+func (s *Stream) pickAddr() (addr uint64, global bool) {
+	p := s.prof
+	if p.SharedFrac > 0 && s.rng.Float64() < p.SharedFrac {
+		if p.GlobalFrac > 0 && s.rng.Float64() < p.GlobalFrac {
+			n := p.GlobalLines
+			if n < 1 {
+				n = 1
+			}
+			return GlobalLine(s.rng.Intn(n)), true
+		}
+		n := p.SharedLines
+		if n < 1 {
+			n = 1
+		}
+		return ClusterLine(p.clusterOf(s.core, s.nprocs), s.rng.Intn(n)), false
+	}
+	n := p.PrivateLines
+	if n < 1 {
+		n = 1
+	}
+	return PrivateLine(s.core, s.rng.Intn(n)), false
+}
+
+func (s *Stream) account(op Op) Op {
+	s.instrs += op.Instructions()
+	s.sinceBarrier += op.Instructions()
+	s.sinceIO += op.Instructions()
+	return op
+}
+
+// Next emits the next op. Streams are infinite; the machine decides
+// when to stop.
+func (s *Stream) Next() Op {
+	p := s.prof
+
+	// Inside a critical section: emit its body, then the unlock.
+	if s.csRemaining > 0 {
+		s.csRemaining--
+		if s.csRemaining == 0 {
+			return s.account(Op{Kind: Unlock, Arg: s.csLock})
+		}
+		// Critical sections touch shared data (that is their point).
+		n := p.SharedLines
+		if n < 1 {
+			n = 1
+		}
+		addr := ClusterLine(p.clusterOf(s.core, s.nprocs), s.rng.Intn(n))
+		k := Load
+		if s.rng.Float64() < 0.6 {
+			k = Store
+		}
+		return s.account(Op{Kind: k, Arg: addr})
+	}
+
+	// Barrier due?
+	if p.BarrierPeriod > 0 && s.sinceBarrier >= uint64(p.BarrierPeriod) {
+		s.sinceBarrier = 0
+		s.barrierID++
+		return s.account(Op{Kind: Barrier, Arg: s.barrierID % 4})
+	}
+
+	// Output I/O due?
+	if p.IOPeriod > 0 && s.sinceIO >= uint64(p.IOPeriod) {
+		s.sinceIO = 0
+		if p.IOCore <= 0 || p.IOCore-1 == s.core {
+			return s.account(Op{Kind: OutputIO})
+		}
+	}
+
+	// Alternate compute bursts with memory/sync ops.
+	if !s.pendingMem {
+		s.pendingMem = true
+		b := p.burst()
+		// Imbalance: later cores run longer bursts.
+		scale := 1.0
+		if p.Imbalance > 0 && s.nprocs > 1 {
+			scale = 1 + p.Imbalance*float64(s.core)/float64(s.nprocs-1)
+		}
+		n := int(float64(b)*scale + 0.5)
+		// Jitter to avoid lockstep.
+		n += s.rng.Intn(b + 1)
+		if n < 1 {
+			n = 1
+		}
+		return s.account(Op{Kind: Compute, Arg: uint64(n)})
+	}
+	s.pendingMem = false
+
+	// Enter a critical section?
+	if p.LockRate > 0 && s.rng.Float64() < p.LockRate {
+		nl := p.NLocks
+		if nl < 1 {
+			nl = 1
+		}
+		if p.GlobalLockFrac > 0 && s.rng.Float64() < p.GlobalLockFrac {
+			// Chip-global lock ids live below the per-cluster spaces.
+			s.csLock = uint64(s.rng.Intn(nl))
+		} else {
+			cluster := p.clusterOf(s.core, s.nprocs)
+			s.csLock = uint64(cluster+1)<<16 + uint64(s.rng.Intn(nl))
+		}
+		cs := p.CSLen
+		if cs < 1 {
+			cs = 2
+		}
+		s.csRemaining = cs + 1 // body ops + the unlock
+		return s.account(Op{Kind: Lock, Arg: s.csLock})
+	}
+
+	// Cold streaming read?
+	if p.ColdFrac > 0 && s.rng.Float64() < p.ColdFrac {
+		n := p.ColdLines
+		if n <= 0 {
+			n = 1 << 18
+		}
+		s.coldCursor++
+		return s.account(Op{Kind: Load, Arg: ColdLine(s.core, s.coldCursor%uint64(n))})
+	}
+
+	// Plain memory op.
+	addr, global := s.pickAddr()
+	wf := p.WriteFrac
+	if global {
+		wf = p.GlobalWriteFrac
+		if wf == 0 {
+			wf = p.WriteFrac / 5
+		}
+	}
+	k := Load
+	if s.rng.Float64() < wf {
+		k = Store
+	}
+	return s.account(Op{Kind: k, Arg: addr})
+}
