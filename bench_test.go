@@ -8,8 +8,15 @@ package repro
 //
 // re-derives the whole evaluation. cmd/figures prints the same tables
 // at the paper-sized "full" scale.
+//
+// Figure drivers fan their experiment cells out across the harness
+// runner's worker pool and memoize per-Spec, so within one `go test
+// -bench` process each distinct cell is simulated once no matter how
+// many figures (or b.N iterations) request it. The BenchmarkRunner*
+// pair at the bottom measures the scheduler itself on fresh caches.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/harness"
@@ -128,6 +135,37 @@ func BenchmarkAblationDepSets(b *testing.B) {
 		stall2 = td.Rows[0].Values[1]
 	}
 	b.ReportMetric(stall2, "depstall_2sets_kcycles")
+}
+
+// The runner benchmarks execute the same sweep (Figs 6.1 and 6.7's
+// cells) on a fresh memoization cache each iteration, once across the
+// GOMAXPROCS worker pool and once through the serial escape hatch:
+// their ratio is the wall-clock win of parallel experiment execution.
+
+func runnerSweepSpecs() []harness.Spec {
+	return append(harness.Fig61Specs(harness.Quick), harness.Fig67Specs(harness.Quick)...)
+}
+
+func BenchmarkRunnerParallel(b *testing.B) {
+	specs := runnerSweepSpecs()
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(0)
+		if _, err := r.Run(context.Background(), specs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "cells")
+}
+
+func BenchmarkRunnerSerial(b *testing.B) {
+	specs := runnerSweepSpecs()
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(1)
+		if _, err := r.RunSerial(context.Background(), specs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "cells")
 }
 
 func BenchmarkTable6_1_Characterization(b *testing.B) {

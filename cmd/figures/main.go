@@ -4,6 +4,13 @@
 //	figures                 # everything at the default (full) scale
 //	figures -scale quick    # fast, smaller machine
 //	figures -fig 6.3        # a single figure
+//	figures -serial         # reference single-threaded execution
+//	figures -workers 4      # cap the worker pool
+//
+// Experiment cells run in parallel across a GOMAXPROCS worker pool by
+// default; -serial (or -workers 1) runs them one at a time. Both paths
+// produce bit-identical tables: every cell's seed is derived from its
+// spec, not from scheduling order.
 //
 // Absolute numbers differ from the paper (scaled intervals, synthetic
 // workloads — see DESIGN.md and EXPERIMENTS.md); the shapes — who wins,
@@ -24,6 +31,8 @@ func main() {
 	var (
 		scaleName = flag.String("scale", "full", "experiment scale: quick|full")
 		fig       = flag.String("fig", "all", "which figure: all|6.1|6.2|6.3|6.4|6.5|6.6|6.7|6.8|t6.1")
+		serial    = flag.Bool("serial", false, "run experiment cells one at a time (reference mode)")
+		workers   = flag.Int("workers", 0, "worker-pool size for experiment cells (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -31,6 +40,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
+	}
+	if *serial {
+		harness.SetWorkers(1)
+	} else if *workers != 0 {
+		harness.SetWorkers(*workers)
 	}
 
 	type runner struct {

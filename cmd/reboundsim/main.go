@@ -54,7 +54,7 @@ func main() {
 		return
 	}
 
-	res, err := harness.Run(spec)
+	res, err := harness.RunOne(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reboundsim:", err)
 		os.Exit(1)

@@ -12,7 +12,17 @@
 // (internal/harness, cmd/figures). The root-level benchmarks in
 // bench_test.go map one-to-one onto the paper's figures and tables.
 //
-// See README.md for a quickstart, DESIGN.md for the system inventory
-// and the paper-to-module mapping, and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// Experiment execution is parallel by default: every (app, procs,
+// scheme, scale) cell is an independent simulation, and the harness
+// Runner fans cells out across a GOMAXPROCS worker pool with per-Spec
+// memoization (harness.Run / harness.RunSerial / harness.RunOne).
+// Each cell's machine seed is derived purely from its Spec's workload
+// identity (harness.DeriveSeed) — never from scheduling order — so
+// parallel and serial execution are byte-identical; the determinism
+// suite in internal/harness proves this by comparing stats.Snapshot
+// serializations across execution modes.
+//
+// See README.md for a quickstart and the runner API, including the
+// seed-derivation rule and how to reproduce figures in parallel versus
+// serial.
 package repro

@@ -1,17 +1,30 @@
 package harness
 
-import (
-	"fmt"
-
-	"repro/internal/machine"
-	"repro/internal/workload"
-)
+import "fmt"
 
 // Ablations for the design choices DESIGN.md calls out. These are not
 // figures from the paper; they quantify the paper's component claims:
 // the WSIG size trade-off (§3.3.2 suggests 512–1024 bits), ReVive's
 // first-writeback-per-interval log optimisation (§3.3.3), and the cost
 // of running with fewer Dep register sets (§4.2 uses up to 4).
+//
+// Like the figures, each ablation is a spec-builder plus a table
+// assembler: the hardware knobs (WSIGBits, DepSets, LogAllWB) are part
+// of Spec, so ablation rows go through the same parallel, memoizing
+// runner as everything else.
+
+// ablationWSIGBits is the signature-size sweep of AblationWSIG.
+var ablationWSIGBits = []int{128, 256, 512, 1024, 2048}
+
+// AblationWSIGSpecs lists the WSIG-geometry sweep cells.
+func AblationWSIGSpecs(sc Scale, app string) []Spec {
+	var specs []Spec
+	for _, bits := range ablationWSIGBits {
+		specs = append(specs, Spec{App: app, Procs: sc.ProcsLarge / 2,
+			Scheme: "Rebound", Scale: sc, WSIGBits: bits})
+	}
+	return specs
+}
 
 // AblationWSIG sweeps the write-signature size and reports the
 // false-positive rate of the "are you the last writer?" test and the
@@ -21,35 +34,28 @@ func AblationWSIG(sc Scale, app string) TableData {
 		Title:   fmt.Sprintf("Ablation: WSIG geometry on %s, %d procs", app, sc.ProcsLarge/2),
 		Columns: []string{"FP rate (%)", "ICHK (%)", "ICHK exact (%)"},
 	}
-	for _, bits := range []int{128, 256, 512, 1024, 2048} {
-		m2 := machineWithWSIG(sc, app, sc.ProcsLarge/2, bits)
-		m2.Run(sc.InstrPerProc * uint64(sc.ProcsLarge/2))
-		m2.FinalizeStats()
+	for _, res := range mustRunAll(AblationWSIGSpecs(sc, app)) {
 		fp := 0.0
-		if m2.St.WSIGTests > 0 {
-			fp = float64(m2.St.WSIGFalsePositives) / float64(m2.St.WSIGTests) * 100
+		if res.St.WSIGTests > 0 {
+			fp = float64(res.St.WSIGFalsePositives) / float64(res.St.WSIGTests) * 100
 		}
 		t.Rows = append(t.Rows, TableRow{
-			Label: fmt.Sprintf("%d bits", bits),
-			Values: []float64{fp, m2.St.AvgICHKFraction() * 100,
-				m2.St.AvgICHKExactFraction() * 100},
+			Label: fmt.Sprintf("%d bits", res.Spec.WSIGBits),
+			Values: []float64{fp, res.St.AvgICHKFraction() * 100,
+				res.St.AvgICHKExactFraction() * 100},
 		})
 	}
 	return t
 }
 
-func machineWithWSIG(sc Scale, app string, procs, bits int) *machine.Machine {
-	prof := workload.ByName(app)
-	sch, err := SchemeFor("Rebound")
-	if err != nil {
-		panic(err)
-	}
-	cfg := machine.DefaultConfig(procs)
-	cfg.CkptInterval = sc.Interval
-	cfg.DetectLatency = sc.DetectLatency
-	cfg.Seed = sc.Seed
-	cfg.WSIGBits = bits
-	return machine.New(cfg, prof, sch)
+// AblationFirstWBSpecs lists the log-optimisation cells (the baseline
+// for the overhead column rides along via withBaselines).
+func AblationFirstWBSpecs(sc Scale, app string) []Spec {
+	procs := sc.ProcsLarge / 2
+	return withBaselines([]Spec{
+		{App: app, Procs: procs, Scheme: "Rebound", Scale: sc},
+		{App: app, Procs: procs, Scheme: "Rebound", Scale: sc, LogAllWB: true},
+	})
 }
 
 // AblationFirstWB compares the log footprint and traffic with and
@@ -59,27 +65,36 @@ func AblationFirstWB(sc Scale, app string) TableData {
 		Title:   fmt.Sprintf("Ablation: first-writeback log optimisation on %s", app),
 		Columns: []string{"log entries (k)", "log high water (MB)", "overhead (%)"},
 	}
-	procs := sc.ProcsLarge / 2
-	base := Baseline(Spec{App: app, Procs: procs, Scheme: "Rebound", Scale: sc})
-	for _, always := range []bool{false, true} {
-		m, err := Build(Spec{App: app, Procs: procs, Scheme: "Rebound", Scale: sc})
-		if err != nil {
-			panic(err)
+	results := mustRunAll(AblationFirstWBSpecs(sc, app))
+	base := Baseline(Spec{App: app, Procs: sc.ProcsLarge / 2, Scheme: "Rebound", Scale: sc})
+	for _, res := range results {
+		if res.Spec.Scheme == "none" {
+			continue
 		}
-		m.Ctrl.Log().AlwaysLog = always
-		end := m.Run(sc.InstrPerProc * uint64(procs))
-		m.FinalizeStats()
 		label := "first-WB only"
-		if always {
+		if res.Spec.LogAllWB {
 			label = "log every WB"
 		}
 		t.Rows = append(t.Rows, TableRow{Label: label, Values: []float64{
-			float64(m.St.LogEntries) / 1000,
-			float64(m.St.LogHighWaterBytes) / (1 << 20),
-			(float64(end)/float64(base.Cycles) - 1) * 100,
+			float64(res.St.LogEntries) / 1000,
+			float64(res.St.LogHighWaterBytes) / (1 << 20),
+			(float64(res.Cycles)/float64(base.Cycles) - 1) * 100,
 		}})
 	}
 	return t
+}
+
+// ablationDepSets is the register-set sweep of AblationDepSets.
+var ablationDepSets = []int{2, 3, 4, 6}
+
+// AblationDepSetsSpecs lists the Dep register-set sweep cells.
+func AblationDepSetsSpecs(sc Scale, app string) []Spec {
+	var specs []Spec
+	for _, sets := range ablationDepSets {
+		specs = append(specs, Spec{App: app, Procs: sc.ProcsLarge / 2,
+			Scheme: "Rebound", Scale: sc, DepSets: sets})
+	}
+	return withBaselines(specs)
 }
 
 // AblationDepSets sweeps the number of Dep register sets: with too few,
@@ -89,27 +104,16 @@ func AblationDepSets(sc Scale, app string) TableData {
 		Title:   fmt.Sprintf("Ablation: Dep register sets on %s (L=%d cycles)", app, sc.DetectLatency),
 		Columns: []string{"overhead (%)", "dep stalls (kcycles)"},
 	}
-	procs := sc.ProcsLarge / 2
-	base := Baseline(Spec{App: app, Procs: procs, Scheme: "Rebound", Scale: sc})
-	for _, sets := range []int{2, 3, 4, 6} {
-		prof := workload.ByName(app)
-		sch, err := SchemeFor("Rebound")
-		if err != nil {
-			panic(err)
+	for _, res := range mustRunAll(AblationDepSetsSpecs(sc, app)) {
+		if res.Spec.Scheme == "none" {
+			continue
 		}
-		cfg := machine.DefaultConfig(procs)
-		cfg.CkptInterval = sc.Interval
-		cfg.DetectLatency = sc.DetectLatency
-		cfg.Seed = sc.Seed
-		cfg.DepSets = sets
-		m := machine.New(cfg, prof, sch)
-		end := m.Run(sc.InstrPerProc * uint64(procs))
-		m.FinalizeStats()
+		base := Baseline(res.Spec)
 		t.Rows = append(t.Rows, TableRow{
-			Label: fmt.Sprintf("%d sets", sets),
+			Label: fmt.Sprintf("%d sets", res.Spec.DepSets),
 			Values: []float64{
-				(float64(end)/float64(base.Cycles) - 1) * 100,
-				float64(m.St.DepStallCycles) / 1000,
+				(float64(res.Cycles)/float64(base.Cycles) - 1) * 100,
+				float64(res.St.DepStallCycles) / 1000,
 			},
 		})
 	}

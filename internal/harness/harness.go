@@ -1,8 +1,14 @@
 // Package harness drives the experiments of the paper's evaluation
-// chapter: one runner per figure/table, shared by cmd/figures, the root
+// chapter: one driver per figure/table, shared by cmd/figures, the root
 // benchmarks and the integration tests. Every configuration runs
 // against a "none" (no checkpointing) baseline to compute overheads,
 // exactly as the paper reports them.
+//
+// Execution goes through the Runner (runner.go): figure drivers build
+// their Spec lists, prefetch them across a GOMAXPROCS worker pool with
+// per-Spec memoization, and assemble tables from the memoized Results.
+// Parallel and serial execution are bit-identical because each cell's
+// machine seed is derived purely from its Spec (DeriveSeed).
 package harness
 
 import (
@@ -55,7 +61,9 @@ func ScaleByName(name string) (Scale, error) {
 	return Scale{}, fmt.Errorf("harness: unknown scale %q (quick|full)", name)
 }
 
-// Spec describes one run.
+// Spec describes one run. It is a complete, self-contained description
+// of the experiment cell: the runner treats equal Specs as the same
+// simulation (see Key) and memoizes accordingly.
 type Spec struct {
 	App    string
 	Procs  int
@@ -64,6 +72,13 @@ type Spec struct {
 	// IOForce > 0 makes core 1 perform output I/O every IOForce
 	// instructions (the Fig 6.7 experiment).
 	IOForce uint64
+	// WSIGBits overrides the write-signature size when > 0 and DepSets
+	// the number of Dep register sets (the ablation sweeps); LogAllWB
+	// disables ReVive's first-writeback-per-interval log optimisation.
+	// Zero values keep machine.DefaultConfig.
+	WSIGBits int
+	DepSets  int
+	LogAllWB bool
 }
 
 // Result is the outcome of one run.
@@ -114,12 +129,24 @@ func Build(spec Spec) (*machine.Machine, error) {
 	cfg := machine.DefaultConfig(spec.Procs)
 	cfg.CkptInterval = spec.Scale.Interval
 	cfg.DetectLatency = spec.Scale.DetectLatency
-	cfg.Seed = spec.Scale.Seed
-	return machine.New(cfg, prof, sch), nil
+	cfg.Seed = DeriveSeed(spec)
+	if spec.WSIGBits > 0 {
+		cfg.WSIGBits = spec.WSIGBits
+	}
+	if spec.DepSets > 0 {
+		cfg.DepSets = spec.DepSets
+	}
+	m := machine.New(cfg, prof, sch)
+	if spec.LogAllWB {
+		m.Ctrl.Log().AlwaysLog = true
+	}
+	return m, nil
 }
 
-// Run executes the spec to its instruction budget.
-func Run(spec Spec) (Result, error) {
+// runSpec executes the spec to its instruction budget on the calling
+// goroutine. It is the uncached primitive underneath the Runner: a
+// pure function of spec, with no shared state between invocations.
+func runSpec(spec Spec) (Result, error) {
 	m, err := Build(spec)
 	if err != nil {
 		return Result{}, err
@@ -135,46 +162,34 @@ func Run(spec Spec) (Result, error) {
 	}, nil
 }
 
-// MustRun is Run for known-good specs (figure drivers).
+// MustRun runs a known-good spec (figure drivers) through the
+// process-wide memoizing runner.
 func MustRun(spec Spec) Result {
-	res, err := Run(spec)
+	res, err := RunOne(spec)
 	if err != nil {
 		panic(err)
 	}
 	return res
 }
 
-// Runs are deterministic for a given spec, so figure sweeps share
-// results through a cache (Fig 6.3, 6.5 and 6.8 reuse the same runs;
-// every overhead needs the same "none" baseline).
-var runCache = map[string]Result{}
+// RunCached is MustRun; the name survives from when memoization was a
+// figure-driver special case rather than a property of every run.
+func RunCached(spec Spec) Result { return MustRun(spec) }
 
-func cacheKey(spec Spec) string {
-	return fmt.Sprintf("%s/%d/%s/%s/%d", spec.App, spec.Procs, spec.Scheme,
-		spec.Scale.Name, spec.IOForce)
-}
-
-// RunCached is MustRun behind the deterministic-run cache. Custom
-// scales (cmd/reboundsim) bypass the cache.
-func RunCached(spec Spec) Result {
-	if spec.Scale.Name == "custom" {
-		return MustRun(spec)
-	}
-	key := cacheKey(spec)
-	if r, ok := runCache[key]; ok {
-		return r
-	}
-	r := MustRun(spec)
-	runCache[key] = r
-	return r
-}
-
-// Baseline returns (cached) the no-checkpointing run for spec's
-// app/procs/scale.
-func Baseline(spec Spec) Result {
+// baselineSpec is spec's "none" counterpart: same workload, no scheme,
+// hardware knobs normalised away (they only matter when checkpointing)
+// so every knob setting shares one baseline run.
+func baselineSpec(spec Spec) Spec {
 	b := spec
 	b.Scheme = "none"
-	return RunCached(b)
+	b.WSIGBits, b.DepSets, b.LogAllWB = 0, 0, false
+	return b
+}
+
+// Baseline returns (memoized) the no-checkpointing run for spec's
+// app/procs/scale.
+func Baseline(spec Spec) Result {
+	return RunCached(baselineSpec(spec))
 }
 
 // Overhead runs spec and returns its checkpointing overhead as a

@@ -27,8 +27,11 @@ func TestSchemeForAndScaleByName(t *testing.T) {
 }
 
 func TestRunRejectsUnknownApp(t *testing.T) {
-	if _, err := Run(Spec{App: "NoSuchApp", Procs: 4, Scheme: "Rebound", Scale: Quick}); err == nil {
+	if _, err := RunOne(Spec{App: "NoSuchApp", Procs: 4, Scheme: "Rebound", Scale: Quick}); err == nil {
 		t.Fatal("unknown app accepted")
+	}
+	if _, err := Run(nil, Spec{App: "NoSuchApp", Procs: 4, Scheme: "Rebound", Scale: Quick}); err == nil {
+		t.Fatal("unknown app accepted by batch Run")
 	}
 }
 

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testSpec(app, scheme string) Spec {
+	return Spec{App: app, Procs: 4, Scheme: scheme, Scale: Quick}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := testSpec("FFT", "Rebound")
+	b := testSpec("FFT", "Rebound")
+	if a.Key() != b.Key() {
+		t.Fatal("equal specs produced different keys")
+	}
+	variants := []Spec{
+		testSpec("Ocean", "Rebound"),
+		testSpec("FFT", "Global"),
+		{App: "FFT", Procs: 8, Scheme: "Rebound", Scale: Quick},
+		{App: "FFT", Procs: 4, Scheme: "Rebound", Scale: Quick, IOForce: 100},
+		{App: "FFT", Procs: 4, Scheme: "Rebound", Scale: Quick, WSIGBits: 256},
+		{App: "FFT", Procs: 4, Scheme: "Rebound", Scale: Quick, DepSets: 2},
+		{App: "FFT", Procs: 4, Scheme: "Rebound", Scale: Quick, LogAllWB: true},
+		{App: "FFT", Procs: 4, Scheme: "Rebound", Scale: Full},
+	}
+	seen := map[string]bool{a.Key(): true}
+	for _, v := range variants {
+		if seen[v.Key()] {
+			t.Fatalf("key collision: %q", v.Key())
+		}
+		seen[v.Key()] = true
+	}
+}
+
+func TestDeriveSeedPairsSchemes(t *testing.T) {
+	// The seed is a pure function of the workload identity: every scheme
+	// and hardware knob of one workload shares the instruction stream.
+	base := DeriveSeed(testSpec("FFT", "none"))
+	if got := DeriveSeed(testSpec("FFT", "Rebound")); got != base {
+		t.Fatalf("scheme changed the derived seed: %d vs %d", got, base)
+	}
+	knob := testSpec("FFT", "Rebound")
+	knob.WSIGBits = 256
+	if got := DeriveSeed(knob); got != base {
+		t.Fatal("WSIG knob changed the derived seed")
+	}
+	// Different workloads decorrelate.
+	if DeriveSeed(testSpec("Ocean", "none")) == base {
+		t.Fatal("different app produced the same seed")
+	}
+	other := testSpec("FFT", "none")
+	other.Procs = 8
+	if DeriveSeed(other) == base {
+		t.Fatal("different processor count produced the same seed")
+	}
+	full := Spec{App: "FFT", Procs: 4, Scheme: "none", Scale: Full}
+	if DeriveSeed(full) == base {
+		t.Fatal("different scale produced the same seed")
+	}
+	if DeriveSeed(testSpec("FFT", "none")) == 0 {
+		t.Fatal("derived seed is zero")
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(2)
+	spec := testSpec("Volrend", "Rebound")
+	a, err := r.RunOne(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunOne(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.St != b.St {
+		t.Fatal("second RunOne re-simulated instead of returning the memoized result")
+	}
+	if r.CachedRuns() != 1 {
+		t.Fatalf("CachedRuns = %d, want 1", r.CachedRuns())
+	}
+	// A batch full of duplicates costs one simulation.
+	res, err := r.Run(context.Background(), spec, spec, spec, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range res {
+		if got.St != a.St {
+			t.Fatalf("result %d not served from the cache", i)
+		}
+	}
+	if r.CachedRuns() != 1 {
+		t.Fatalf("CachedRuns after batch = %d, want 1", r.CachedRuns())
+	}
+}
+
+func TestRunPreservesSpecOrder(t *testing.T) {
+	r := NewRunner(0)
+	specs := []Spec{
+		testSpec("FFT", "none"),
+		testSpec("Volrend", "none"),
+		testSpec("FFT", "Rebound"),
+		testSpec("Cholesky", "none"),
+	}
+	res, err := r.Run(context.Background(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(res), len(specs))
+	}
+	for i := range specs {
+		if res[i].Spec.Key() != specs[i].Key() {
+			t.Fatalf("result %d is %s, want %s", i, res[i].Spec.Key(), specs[i].Key())
+		}
+	}
+}
+
+func TestRunReportsErrors(t *testing.T) {
+	r := NewRunner(2)
+	_, err := r.Run(context.Background(),
+		testSpec("FFT", "none"), testSpec("NoSuchApp", "Rebound"))
+	if err == nil {
+		t.Fatal("bad spec in batch not reported")
+	}
+	if _, err := r.Run(context.Background(), testSpec("FFT", "bogus-scheme")); err == nil {
+		t.Fatal("bad scheme in batch not reported")
+	}
+}
+
+func TestRunHonorsCancelledContext(t *testing.T) {
+	r := NewRunner(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Run(ctx, testSpec("FFT", "none")); err == nil {
+		t.Fatal("cancelled context not surfaced by Run")
+	}
+	if _, err := r.RunSerial(ctx, testSpec("FFT", "none")); err == nil {
+		t.Fatal("cancelled context not surfaced by RunSerial")
+	}
+}
+
+func TestConcurrentRunOneSimulatesOnce(t *testing.T) {
+	// Hammer one spec from many goroutines: the sync.Once entry must
+	// collapse them into a single simulation (checked via CachedRuns and
+	// pointer identity), and the race detector must stay quiet.
+	r := NewRunner(0)
+	spec := testSpec("Barnes", "Rebound")
+	var wg sync.WaitGroup
+	var firsts [8]Result
+	var errs int32
+	for i := 0; i < len(firsts); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.RunOne(spec)
+			if err != nil {
+				atomic.AddInt32(&errs, 1)
+				return
+			}
+			firsts[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if errs != 0 {
+		t.Fatalf("%d goroutines failed", errs)
+	}
+	for i := 1; i < len(firsts); i++ {
+		if firsts[i].St != firsts[0].St {
+			t.Fatal("concurrent RunOne returned distinct simulations")
+		}
+	}
+	if r.CachedRuns() != 1 {
+		t.Fatalf("CachedRuns = %d, want 1", r.CachedRuns())
+	}
+}
+
+func TestRecoveryLatencyMemoized(t *testing.T) {
+	r := NewRunner(2)
+	spec := Spec{App: "Barnes", Procs: 4, Scheme: "Rebound", Scale: Quick}
+	a := r.RecoveryLatency(spec)
+	b := r.RecoveryLatency(spec)
+	if a != b {
+		t.Fatalf("memoized recovery latency changed: %v vs %v", a, b)
+	}
+	if r.CachedRecoveries() != 1 {
+		t.Fatalf("CachedRecoveries = %d, want 1", r.CachedRecoveries())
+	}
+	r.PrefetchRecovery(context.Background(), spec, spec)
+	if r.CachedRecoveries() != 1 {
+		t.Fatalf("PrefetchRecovery re-measured a cached cell: %d entries", r.CachedRecoveries())
+	}
+}
+
+func TestSetWorkersResetsDefault(t *testing.T) {
+	old := Default()
+	SetWorkers(1)
+	defer func() {
+		defaultMu.Lock()
+		defaultRunner = old
+		defaultMu.Unlock()
+	}()
+	if Default() == old {
+		t.Fatal("SetWorkers kept the old runner")
+	}
+	if Default().Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", Default().Workers())
+	}
+	if Default().CachedRuns() != 0 {
+		t.Fatal("SetWorkers kept memoized results")
+	}
+}

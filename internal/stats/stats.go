@@ -6,7 +6,11 @@
 // counts the power model converts into energy (Figs 6.6b and 6.8).
 package stats
 
-import "repro/internal/sim"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // CkptRecord describes one completed checkpoint.
 type CkptRecord struct {
@@ -119,6 +123,17 @@ func New(n int) *Stats {
 		SyncDelay:    make([]uint64, n),
 		RollStall:    make([]uint64, n),
 	}
+}
+
+// Snapshot returns a deterministic, byte-comparable serialization of
+// every counter and record in s — per-core slices, checkpoint and
+// rollback histories included. Two runs are considered identical
+// exactly when their Snapshots are equal; the determinism suite uses
+// this to prove parallel experiment execution matches serial. Stats
+// holds only scalars and slices (no maps), so the rendering is stable
+// across processes, and newly added fields are covered automatically.
+func (s *Stats) Snapshot() string {
+	return fmt.Sprintf("%+v", *s)
 }
 
 // TotalInstructions sums instructions across cores.

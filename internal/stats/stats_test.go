@@ -92,3 +92,25 @@ func TestAvgRecoveryCycles(t *testing.T) {
 		t.Fatalf("avg recovery = %f, want 300", got)
 	}
 }
+
+func TestSnapshotDistinguishesAndMatches(t *testing.T) {
+	a, b := New(4), New(4)
+	a.L1Hits, b.L1Hits = 7, 7
+	a.Instructions[2], b.Instructions[2] = 100, 100
+	a.Checkpoints = append(a.Checkpoints, CkptRecord{Initiator: 1, Size: 3, Lines: 9})
+	b.Checkpoints = append(b.Checkpoints, CkptRecord{Initiator: 1, Size: 3, Lines: 9})
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatal("identical stats produced different snapshots")
+	}
+	b.Rollbacks = append(b.Rollbacks, RollRecord{Initiator: 2, Size: 1})
+	if a.Snapshot() == b.Snapshot() {
+		t.Fatal("snapshot missed a rollback-record difference")
+	}
+	c := New(4)
+	c.L1Hits = 7
+	c.Instructions[2] = 100
+	c.Checkpoints = append(c.Checkpoints, CkptRecord{Initiator: 1, Size: 3, Lines: 8})
+	if a.Snapshot() == c.Snapshot() {
+		t.Fatal("snapshot missed a checkpoint-record difference")
+	}
+}
