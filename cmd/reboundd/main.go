@@ -1,0 +1,100 @@
+// Command reboundd serves the Rebound experiment harness over HTTP:
+// simulation-as-a-service. It accepts single-Spec runs and whole-figure
+// sweeps, schedules them on the parallel in-process runner behind a
+// bounded admission queue, and persists every result in a content-
+// addressed on-disk store, so identical requests — including after a
+// restart — are answered without re-simulating.
+//
+//	reboundd -scale quick                      # serve on :8091
+//	reboundd -addr :9000 -store /var/lib/rebound -workers 8
+//
+//	curl -s localhost:8091/healthz
+//	curl -s -X POST localhost:8091/v1/runs \
+//	     -d '{"app":"FFT","procs":16,"scheme":"Rebound"}'
+//	curl -s -X POST localhost:8091/v1/sweeps -d '{"figure":"fig6.2"}'
+//	curl -s localhost:8091/v1/runs/<key>       # key from a previous answer
+//	curl -s localhost:8091/metrics
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
+// finish (bounded by -drain), new ones are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8091", "listen address")
+		storeDir   = flag.String("store", "reboundd-store", "result store directory")
+		workers    = flag.Int("workers", 0, "runner worker-pool size (0 = GOMAXPROCS)")
+		scaleName  = flag.String("scale", "full", "default experiment scale: quick|full")
+		queueDepth = flag.Int("queue", 64, "max jobs waiting for a worker before 503")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	sc, err := harness.ScaleByName(*scaleName)
+	if err != nil {
+		log.Fatalf("reboundd: %v", err)
+	}
+	st, err := store.Open(*storeDir, 0)
+	if err != nil {
+		log.Fatalf("reboundd: %v", err)
+	}
+	runner := harness.NewRunner(*workers)
+	svc, err := service.New(service.Config{
+		Runner:     runner,
+		Store:      st,
+		Scale:      sc,
+		QueueDepth: *queueDepth,
+	})
+	if err != nil {
+		log.Fatalf("reboundd: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("reboundd: serving on %s (scale=%s workers=%d store=%s, %d stored results)",
+		*addr, sc.Name, runner.Workers(), *storeDir, st.Len())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("reboundd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("reboundd: shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("reboundd: forced shutdown: %v", err)
+		srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("reboundd: %v", err)
+	}
+	fmt.Println("reboundd: bye")
+}

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/harness"
@@ -48,13 +50,16 @@ func main() {
 		DetectLatency: *detectL, Seed: *seed,
 	}
 	spec := harness.Spec{App: *app, Procs: *procs, Scheme: *scheme, Scale: sc}
+	if err := spec.Validate(); err != nil {
+		usage(err)
+	}
 
 	if *doFault {
 		runWithFault(spec)
 		return
 	}
 
-	res, err := harness.RunOne(spec)
+	res, err := harness.RunOne(context.Background(), spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reboundsim:", err)
 		os.Exit(1)
@@ -66,6 +71,17 @@ func main() {
 		fmt.Printf("\nbaseline (none):   %12d cycles\n", base.Cycles)
 		fmt.Printf("checkpoint overhead: %9.2f %%\n", ovh*100)
 	}
+}
+
+// usage reports a spec validation error with the valid vocabulary and
+// exits non-zero (a bad -app or -scheme used to panic deep inside the
+// harness; now it is a diagnosable CLI error).
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "reboundsim:", err)
+	fmt.Fprintf(os.Stderr, "\nvalid applications: %s\n", strings.Join(harness.AppNames(), " "))
+	fmt.Fprintf(os.Stderr, "valid schemes:      %s\n", strings.Join(harness.SchemeNames(), " "))
+	fmt.Fprintln(os.Stderr, "\nrun with -list for application details, -h for all flags")
+	os.Exit(2)
 }
 
 func printSummary(res harness.Result) {

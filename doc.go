@@ -15,14 +15,27 @@
 // Experiment execution is parallel by default: every (app, procs,
 // scheme, scale) cell is an independent simulation, and the harness
 // Runner fans cells out across a GOMAXPROCS worker pool with per-Spec
-// memoization (harness.Run / harness.RunSerial / harness.RunOne).
+// memoization (harness.Run / harness.RunSerial / harness.RunOne), all
+// context-aware so cancelled callers stop cells that have not started.
 // Each cell's machine seed is derived purely from its Spec's workload
 // identity (harness.DeriveSeed) — never from scheduling order — so
 // parallel and serial execution are byte-identical; the determinism
 // suite in internal/harness proves this by comparing stats.Snapshot
 // serializations across execution modes.
 //
-// See README.md for a quickstart and the runner API, including the
+// On top of the runner sit the service layers of cmd/reboundd,
+// simulation-as-a-service: internal/store is a content-addressed
+// on-disk result store (one self-verifying JSON record per Spec,
+// addressed by sha256 of the canonical Spec key, fronted by an
+// in-memory LRU) that serves identical requests across process
+// restarts without re-simulating; internal/service is the HTTP API —
+// POST /v1/runs, POST /v1/sweeps (named figures or explicit spec
+// lists), GET /v1/runs/{key}, /healthz, /metrics — with shared
+// Spec.Validate request validation, singleflight deduplication of
+// identical in-flight Specs, a bounded admission queue, and graceful
+// shutdown.
+//
+// See README.md for a quickstart, the runner API — including the
 // seed-derivation rule and how to reproduce figures in parallel versus
-// serial.
+// serial — and curl examples for the service endpoints.
 package repro

@@ -26,7 +26,7 @@ func main() {
 	for _, app := range []string{"Apache", "Blackscholes"} {
 		fmt.Printf("%s:\n", app)
 		for _, scheme := range []string{"Global", "Rebound"} {
-			res := harness.RunCached(harness.Spec{
+			res := harness.MustRun(harness.Spec{
 				App: app, Procs: sc.ProcsLarge, Scheme: scheme,
 				Scale: sc, IOForce: sc.Interval / 2,
 			})

@@ -3,6 +3,8 @@ package harness
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/workload"
@@ -63,7 +65,7 @@ func Fig62(sc Scale) []TableData {
 			Columns: []string{"ICHK"},
 		}
 		for _, app := range splashApps() {
-			res := RunCached(Spec{App: app, Procs: procs, Scheme: "Rebound", Scale: sc})
+			res := MustRun(Spec{App: app, Procs: procs, Scheme: "Rebound", Scale: sc})
 			t.Rows = append(t.Rows, TableRow{Label: app,
 				Values: []float64{res.St.AvgICHKFraction() * 100}})
 		}
@@ -374,7 +376,7 @@ func Fig67(sc Scale) TableData {
 	for _, app := range fig67Apps() {
 		row := TableRow{Label: app}
 		for _, scheme := range []string{"Global", "Rebound"} {
-			res := RunCached(Spec{App: app, Procs: sc.ProcsLarge, Scheme: scheme,
+			res := MustRun(Spec{App: app, Procs: sc.ProcsLarge, Scheme: scheme,
 				Scale: sc, IOForce: sc.Interval / 2})
 			row.Values = append(row.Values, res.St.AvgCheckpointIntervalInstr())
 		}
@@ -457,6 +459,57 @@ func workloadSuite(app string) string {
 		return p.Suite
 	}
 	return "splash2"
+}
+
+// figureSpecBuilders maps the canonical figure identifiers to their
+// spec builders. Keys are the short forms cmd/figures accepts; see
+// FigureSpecs for the aliases the service accepts.
+var figureSpecBuilders = map[string]func(Scale) []Spec{
+	"6.1":  Fig61Specs,
+	"6.2":  Fig62Specs,
+	"6.3":  Fig63Specs,
+	"6.4":  Fig64Specs,
+	"6.5":  Fig65Specs,
+	"6.6":  Fig66Specs,
+	"6.7":  Fig67Specs,
+	"6.8":  Fig68Specs,
+	"t6.1": Table61Specs,
+	"all":  SweepSpecs,
+}
+
+// FigureNames lists the identifiers FigureSpecs accepts (short forms),
+// sorted for error messages. Derived from the builder map so the two
+// cannot drift.
+func FigureNames() []string {
+	names := make([]string, 0, len(figureSpecBuilders))
+	for name := range figureSpecBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FigureSpecs resolves a figure name to the cells it simulates
+// (baselines included where the figure reports overheads). It accepts
+// the short identifiers of cmd/figures ("6.2", "t6.1", "all") and the
+// service's prefixed aliases ("fig6.2", "table6.1", "sweep"),
+// case-insensitively.
+func FigureSpecs(name string, sc Scale) ([]Spec, error) {
+	id := strings.ToLower(strings.TrimSpace(name))
+	id = strings.TrimPrefix(id, "fig")
+	id = strings.TrimPrefix(id, "ure")  // "figure6.2"
+	id = strings.TrimSpace(strings.TrimPrefix(id, "."))
+	if strings.HasPrefix(id, "table") {
+		id = "t" + strings.TrimPrefix(id, "table")
+	}
+	if id == "sweep" {
+		id = "all"
+	}
+	if b, ok := figureSpecBuilders[id]; ok {
+		return b(sc), nil
+	}
+	return nil, fmt.Errorf("harness: unknown figure %q (valid: %s)",
+		name, strings.Join(FigureNames(), " "))
 }
 
 // SweepSpecs is the union of every figure's and Table 6.1's cells,

@@ -12,6 +12,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -87,6 +88,83 @@ type Result struct {
 	St     *stats.Stats
 	Cycles uint64
 	Power  power.Report
+}
+
+// schemeNames lists every scheme SchemeFor accepts, in the order the
+// evaluation introduces them.
+var schemeNames = []string{
+	"none", "Global", "Global_DWB",
+	"Rebound", "Rebound_NoDWB", "Rebound_Barr", "Rebound_NoDWB_Barr",
+}
+
+// SchemeNames returns the valid -scheme / API scheme identifiers.
+func SchemeNames() []string {
+	return append([]string(nil), schemeNames...)
+}
+
+// AppNames returns the valid application-profile names.
+func AppNames() []string {
+	var out []string
+	for _, p := range workload.All() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// MaxProcs bounds Spec.Procs: large enough for any paper configuration
+// (the full scale tops out at 64), small enough that a single request
+// cannot ask a service for an absurd machine. MaxWSIGBits and
+// MaxDepSets similarly bound the hardware knobs (the ablation sweeps
+// top out at 2048 bits and 6 sets); MinDepSets is the tracker's hard
+// floor (dep.NewTracker panics below 2). MaxIOForce keeps the forced
+// I/O period within a range the profile arithmetic handles.
+const (
+	MaxProcs    = 1024
+	MaxWSIGBits = 1 << 16
+	MinDepSets  = 2
+	MaxDepSets  = 64
+	MaxIOForce  = 1 << 32
+)
+
+// Validate reports whether the spec describes a runnable experiment
+// cell: known application and scheme, a sane processor count, and a
+// Scale with non-zero instruction budget and checkpoint interval. It is
+// the shared request validation of cmd/reboundsim, cmd/figures and the
+// reboundd service; Build repeats the app/scheme resolution but cannot
+// list valid values in its errors the way Validate does.
+func (s Spec) Validate() error {
+	if workload.ByName(s.App) == nil {
+		return fmt.Errorf("harness: unknown application %q (valid: %s)",
+			s.App, strings.Join(AppNames(), " "))
+	}
+	if _, err := SchemeFor(s.Scheme); err != nil {
+		return fmt.Errorf("harness: unknown scheme %q (valid: %s)",
+			s.Scheme, strings.Join(SchemeNames(), " "))
+	}
+	if s.Procs < 1 || s.Procs > MaxProcs {
+		return fmt.Errorf("harness: procs %d out of range [1, %d]", s.Procs, MaxProcs)
+	}
+	if s.Scale.InstrPerProc == 0 {
+		return fmt.Errorf("harness: scale %q has a zero instruction budget", s.Scale.Name)
+	}
+	if s.Scale.Interval == 0 {
+		return fmt.Errorf("harness: scale %q has a zero checkpoint interval", s.Scale.Name)
+	}
+	if s.WSIGBits < 0 || s.DepSets < 0 {
+		return fmt.Errorf("harness: negative hardware knob (wsigbits=%d depsets=%d)",
+			s.WSIGBits, s.DepSets)
+	}
+	if s.WSIGBits > MaxWSIGBits {
+		return fmt.Errorf("harness: wsigbits %d out of range [1, %d]", s.WSIGBits, MaxWSIGBits)
+	}
+	if s.DepSets != 0 && (s.DepSets < MinDepSets || s.DepSets > MaxDepSets) {
+		return fmt.Errorf("harness: depsets %d out of range [%d, %d]",
+			s.DepSets, MinDepSets, MaxDepSets)
+	}
+	if s.IOForce > MaxIOForce {
+		return fmt.Errorf("harness: ioforce %d out of range [0, %d]", s.IOForce, uint64(MaxIOForce))
+	}
+	return nil
 }
 
 // SchemeFor builds the named scheme.
@@ -165,16 +243,12 @@ func runSpec(spec Spec) (Result, error) {
 // MustRun runs a known-good spec (figure drivers) through the
 // process-wide memoizing runner.
 func MustRun(spec Spec) Result {
-	res, err := RunOne(spec)
+	res, err := RunOne(context.Background(), spec)
 	if err != nil {
 		panic(err)
 	}
 	return res
 }
-
-// RunCached is MustRun; the name survives from when memoization was a
-// figure-driver special case rather than a property of every run.
-func RunCached(spec Spec) Result { return MustRun(spec) }
 
 // baselineSpec is spec's "none" counterpart: same workload, no scheme,
 // hardware knobs normalised away (they only matter when checkpointing)
@@ -189,14 +263,14 @@ func baselineSpec(spec Spec) Spec {
 // Baseline returns (memoized) the no-checkpointing run for spec's
 // app/procs/scale.
 func Baseline(spec Spec) Result {
-	return RunCached(baselineSpec(spec))
+	return MustRun(baselineSpec(spec))
 }
 
 // Overhead runs spec and returns its checkpointing overhead as a
 // fraction of the baseline execution time, with both results.
 func Overhead(spec Spec) (float64, Result, Result) {
 	base := Baseline(spec)
-	res := RunCached(spec)
+	res := MustRun(spec)
 	ovh := float64(res.Cycles)/float64(base.Cycles) - 1
 	if ovh < 0 {
 		ovh = 0

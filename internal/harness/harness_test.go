@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -27,11 +28,80 @@ func TestSchemeForAndScaleByName(t *testing.T) {
 }
 
 func TestRunRejectsUnknownApp(t *testing.T) {
-	if _, err := RunOne(Spec{App: "NoSuchApp", Procs: 4, Scheme: "Rebound", Scale: Quick}); err == nil {
+	if _, err := RunOne(context.Background(), Spec{App: "NoSuchApp", Procs: 4, Scheme: "Rebound", Scale: Quick}); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 	if _, err := Run(nil, Spec{App: "NoSuchApp", Procs: 4, Scheme: "Rebound", Scale: Quick}); err == nil {
 		t.Fatal("unknown app accepted by batch Run")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{App: "FFT", Procs: 8, Scheme: "Rebound", Scale: Quick}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"unknown app", func(s *Spec) { s.App = "NoSuchApp" }, "unknown application"},
+		{"unknown scheme", func(s *Spec) { s.Scheme = "bogus" }, "unknown scheme"},
+		{"zero procs", func(s *Spec) { s.Procs = 0 }, "out of range"},
+		{"huge procs", func(s *Spec) { s.Procs = MaxProcs + 1 }, "out of range"},
+		{"zero budget", func(s *Spec) { s.Scale.InstrPerProc = 0 }, "instruction budget"},
+		{"zero interval", func(s *Spec) { s.Scale.Interval = 0 }, "checkpoint interval"},
+		{"negative knob", func(s *Spec) { s.WSIGBits = -1 }, "negative hardware knob"},
+		{"huge wsig", func(s *Spec) { s.WSIGBits = MaxWSIGBits + 1 }, "wsigbits"},
+		{"one depset", func(s *Spec) { s.DepSets = 1 }, "depsets"},
+		{"huge depsets", func(s *Spec) { s.DepSets = MaxDepSets + 1 }, "depsets"},
+		{"huge ioforce", func(s *Spec) { s.IOForce = MaxIOForce + 1 }, "ioforce"},
+	}
+	for _, tc := range cases {
+		s := good
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// The app/scheme errors teach the caller the valid vocabulary
+	// (cmd/reboundsim and the service surface them verbatim).
+	bad := good
+	bad.Scheme = "bogus"
+	if err := bad.Validate(); !strings.Contains(err.Error(), "Rebound_NoDWB_Barr") {
+		t.Fatalf("scheme error does not list valid schemes: %v", err)
+	}
+}
+
+func TestFigureSpecsRegistry(t *testing.T) {
+	for _, alias := range []string{"6.2", "fig6.2", "FIG6.2", "figure6.2"} {
+		specs, err := FigureSpecs(alias, Quick)
+		if err != nil {
+			t.Fatalf("FigureSpecs(%q): %v", alias, err)
+		}
+		if len(specs) != len(Fig62Specs(Quick)) {
+			t.Fatalf("FigureSpecs(%q) returned %d specs, want %d",
+				alias, len(specs), len(Fig62Specs(Quick)))
+		}
+	}
+	if _, err := FigureSpecs("table6.1", Quick); err != nil {
+		t.Fatalf("table6.1 alias: %v", err)
+	}
+	if specs, _ := FigureSpecs("all", Quick); len(specs) != len(SweepSpecs(Quick)) {
+		t.Fatal("all alias does not cover the full sweep")
+	}
+	if _, err := FigureSpecs("6.99", Quick); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	for _, name := range FigureNames() {
+		if _, err := FigureSpecs(name, Quick); err != nil {
+			t.Fatalf("FigureNames entry %q not resolvable: %v", name, err)
+		}
 	}
 }
 

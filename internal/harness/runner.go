@@ -56,11 +56,15 @@ func DeriveSeed(s Spec) uint64 {
 	return z
 }
 
-// cacheEntry memoizes one cell. The sync.Once both deduplicates
-// concurrent requests for the same Spec (the second requester blocks
-// until the first finishes) and publishes res/err safely.
+// cacheEntry memoizes one cell. The first requester to install the
+// entry (under Runner.mu) becomes its executor; the done channel both
+// deduplicates concurrent requests for the same Spec — singleflight:
+// later requesters block until the executor finishes — and publishes
+// res/err safely. Unlike a sync.Once, a blocked requester can abandon
+// the wait when its context is cancelled; the executor still runs the
+// cell to completion and the result stays cached.
 type cacheEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  Result
 	err  error
 }
@@ -103,23 +107,54 @@ func (r *Runner) CachedRuns() int {
 	return len(r.cache)
 }
 
-func (r *Runner) entry(key string) *cacheEntry {
+// RunOne executes spec, or returns its memoized Result if this runner
+// has already executed (or is currently executing) an identical spec.
+//
+// Context semantics: a cell that has not started is never started under
+// a cancelled context, and a caller waiting on another request's
+// in-flight execution of the same spec stops waiting when its own
+// context is cancelled. A cell that has already started runs to
+// completion regardless (the engine has no preemption point) and its
+// Result stays cached for future requests.
+func (r *Runner) RunOne(ctx context.Context, spec Spec) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key := spec.Key()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.cache[key]
 	if !ok {
-		e = &cacheEntry{}
+		if err := ctx.Err(); err != nil {
+			r.mu.Unlock()
+			return Result{}, err
+		}
+		e = &cacheEntry{done: make(chan struct{})}
 		r.cache[key] = e
+		r.mu.Unlock()
+		func() {
+			// The entry must be published even if the simulator panics
+			// (e.g. a config the machine rejects at construction):
+			// otherwise every later request for this spec would block on
+			// done forever. The panic is converted to a cached error —
+			// the cell is a pure function of its spec, so retrying it
+			// would panic identically.
+			defer func() {
+				if p := recover(); p != nil {
+					e.err = fmt.Errorf("harness: %s: panic: %v", key, p)
+				}
+				close(e.done)
+			}()
+			e.res, e.err = runSpec(spec)
+		}()
+		return e.res, e.err
 	}
-	return e
-}
-
-// RunOne executes spec, or returns its memoized Result if this runner
-// has already executed an identical spec.
-func (r *Runner) RunOne(spec Spec) (Result, error) {
-	e := r.entry(spec.Key())
-	e.once.Do(func() { e.res, e.err = runSpec(spec) })
-	return e.res, e.err
+	r.mu.Unlock()
+	select {
+	case <-e.done:
+		return e.res, e.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
 }
 
 // fanOut feeds indices [0, n) to the worker pool. A canceled context
@@ -178,7 +213,7 @@ func (r *Runner) Run(ctx context.Context, specs ...Spec) ([]Result, error) {
 	errs := make([]error, len(specs))
 	done := make([]bool, len(specs))
 	cancelErr := r.fanOut(ctx, len(specs), func(i int) {
-		results[i], errs[i] = r.RunOne(specs[i])
+		results[i], errs[i] = r.RunOne(ctx, specs[i])
 		done[i] = true
 	})
 	for i := range errs {
@@ -236,10 +271,7 @@ func (r *Runner) RunSerial(ctx context.Context, specs ...Spec) ([]Result, error)
 	}
 	results := make([]Result, len(specs))
 	for i, spec := range specs {
-		if err := ctx.Err(); err != nil {
-			return results, err
-		}
-		res, err := r.RunOne(spec)
+		res, err := r.RunOne(ctx, spec)
 		if err != nil {
 			return results, err
 		}
@@ -285,8 +317,8 @@ func RunSerial(ctx context.Context, specs ...Spec) ([]Result, error) {
 }
 
 // RunOne executes one spec through the process-wide runner.
-func RunOne(spec Spec) (Result, error) {
-	return Default().RunOne(spec)
+func RunOne(ctx context.Context, spec Spec) (Result, error) {
+	return Default().RunOne(ctx, spec)
 }
 
 // mustRunAll prefetches specs in parallel and returns their results in

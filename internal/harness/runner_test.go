@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func testSpec(app, scheme string) Spec {
@@ -69,11 +70,11 @@ func TestDeriveSeedPairsSchemes(t *testing.T) {
 func TestRunnerMemoizes(t *testing.T) {
 	r := NewRunner(2)
 	spec := testSpec("Volrend", "Rebound")
-	a, err := r.RunOne(spec)
+	a, err := r.RunOne(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.RunOne(spec)
+	b, err := r.RunOne(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,6 +145,34 @@ func TestRunHonorsCancelledContext(t *testing.T) {
 	}
 }
 
+func TestRunOneHonorsCancelledContext(t *testing.T) {
+	r := NewRunner(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := testSpec("FFT", "none")
+	if _, err := r.RunOne(ctx, spec); err == nil {
+		t.Fatal("cancelled context not surfaced by RunOne")
+	}
+	// The cancelled request must not have started (or poisoned) the cell:
+	// a live context simulates it normally afterwards.
+	if r.CachedRuns() != 0 {
+		t.Fatalf("cancelled RunOne left %d cache entries", r.CachedRuns())
+	}
+	res, err := r.RunOne(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("cell did not simulate after the cancelled attempt")
+	}
+	// And a cancelled context still reads an already-memoized result in
+	// the common select path or returns promptly; either way it must not
+	// re-simulate.
+	if r.CachedRuns() != 1 {
+		t.Fatalf("CachedRuns = %d, want 1", r.CachedRuns())
+	}
+}
+
 func TestConcurrentRunOneSimulatesOnce(t *testing.T) {
 	// Hammer one spec from many goroutines: the sync.Once entry must
 	// collapse them into a single simulation (checked via CachedRuns and
@@ -157,7 +186,7 @@ func TestConcurrentRunOneSimulatesOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := r.RunOne(spec)
+			res, err := r.RunOne(context.Background(), spec)
 			if err != nil {
 				atomic.AddInt32(&errs, 1)
 				return
@@ -176,6 +205,34 @@ func TestConcurrentRunOneSimulatesOnce(t *testing.T) {
 	}
 	if r.CachedRuns() != 1 {
 		t.Fatalf("CachedRuns = %d, want 1", r.CachedRuns())
+	}
+}
+
+func TestRunOnePanicBecomesCachedError(t *testing.T) {
+	// DepSets=1 passes Build but panics inside machine construction
+	// (dep.NewTracker requires >= 2 sets). The runner must surface that
+	// as an error — and later requests for the same spec must get the
+	// same error immediately instead of blocking on a never-closed
+	// entry. (Validate rejects this spec; the runner has to stay safe
+	// for callers that skip validation.)
+	r := NewRunner(1)
+	spec := testSpec("FFT", "Rebound")
+	spec.DepSets = 1
+	if _, err := r.RunOne(context.Background(), spec); err == nil {
+		t.Fatal("panicking cell returned no error")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunOne(context.Background(), spec)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("second request got no error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second request for a panicked cell blocked")
 	}
 }
 

@@ -1,0 +1,45 @@
+package store
+
+import "container/list"
+
+// lruCache is a plain bounded LRU of decoded records. It is not
+// self-locking: Store.mu guards every call.
+type lruCache struct {
+	cap   int
+	order *list.List               // front = most recent
+	items map[string]*list.Element // key -> element holding *lruEntry
+}
+
+type lruEntry struct {
+	key string
+	rec *Record
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (*Record, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).rec, true
+}
+
+func (c *lruCache) put(key string, rec *Record) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).rec = rec
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, rec: rec})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

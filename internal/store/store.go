@@ -1,0 +1,268 @@
+// Package store persists simulation results on disk, content-addressed
+// by the canonical Spec key, so identical requests across process
+// restarts are served without re-simulating. It is the durable layer
+// under internal/service: the Runner memoizes within one process, the
+// Store across processes.
+//
+// Layout: one JSON record per result, named <sha256(Spec.Key())>.json
+// inside the store directory. Writes are atomic (temp file + rename),
+// so a crashed or killed daemon never leaves a half-written record a
+// later Get could decode. Reads go through a bounded in-memory LRU of
+// decoded records; the full key set is indexed at Open so Has/Len never
+// touch the disk.
+//
+// A record embeds the stats.Snapshot() string taken at save time, and
+// Get re-derives the snapshot from the decoded counters and compares:
+// a record that does not reproduce its own snapshot byte-for-byte
+// (truncated file, incompatible stats schema, manual edit) is reported
+// as an error, never silently served. This is the same byte-identity
+// bar the determinism suite holds parallel execution to.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+// Record is the on-disk form of one harness.Result.
+type Record struct {
+	// Key is the content address: hex sha256 of SpecKey. It is the
+	// public identifier the service exposes (URL-safe, fixed length).
+	Key string `json:"key"`
+	// SpecKey is the canonical harness key the address was derived
+	// from, kept readable for debugging and audits.
+	SpecKey string       `json:"spec_key"`
+	Spec    harness.Spec `json:"spec"`
+	Cycles  uint64       `json:"cycles"`
+	Stats   *stats.Stats `json:"stats"`
+	Power   power.Report `json:"power"`
+	// Snapshot is Stats.Snapshot() at save time; Get verifies the
+	// decoded Stats reproduce it byte-for-byte.
+	Snapshot string `json:"snapshot"`
+}
+
+// KeyOf returns the content address of a spec: the hex sha256 of its
+// canonical key.
+func KeyOf(spec harness.Spec) string {
+	sum := sha256.Sum256([]byte(spec.Key()))
+	return hex.EncodeToString(sum[:])
+}
+
+// FromResult converts a harness.Result into its storable record.
+func FromResult(res harness.Result) *Record {
+	return &Record{
+		Key:      KeyOf(res.Spec),
+		SpecKey:  res.Spec.Key(),
+		Spec:     res.Spec,
+		Cycles:   res.Cycles,
+		Stats:    res.St,
+		Power:    res.Power,
+		Snapshot: res.St.Snapshot(),
+	}
+}
+
+// Result converts the record back into a harness.Result.
+func (r *Record) Result() harness.Result {
+	return harness.Result{Spec: r.Spec, St: r.Stats, Cycles: r.Cycles, Power: r.Power}
+}
+
+// verify checks the record's internal consistency: address matches the
+// spec, counters reproduce the stored snapshot.
+func (r *Record) verify() error {
+	if want := KeyOf(r.Spec); r.Key != want {
+		return fmt.Errorf("store: record key %s does not match its spec (want %s)", r.Key, want)
+	}
+	if r.Stats == nil {
+		return fmt.Errorf("store: record %s has no stats", r.Key)
+	}
+	if got := r.Stats.Snapshot(); got != r.Snapshot {
+		return fmt.Errorf("store: record %s failed snapshot verification (stored %d bytes, decoded %d)",
+			r.Key, len(r.Snapshot), len(got))
+	}
+	return nil
+}
+
+// DefaultLRUSize bounds the in-memory record cache of Open.
+const DefaultLRUSize = 1024
+
+// Store is a content-addressed, on-disk result store with an in-memory
+// LRU of decoded records. It is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	known map[string]bool // keys present on disk
+	lru   *lruCache       // decoded records, bounded
+
+	hits, misses uint64 // Get outcomes, for service metrics
+}
+
+// Open creates (if needed) and indexes the store rooted at dir,
+// keeping at most lruSize decoded records in memory (<= 0 selects
+// DefaultLRUSize). Existing records are indexed by filename only;
+// they are decoded and verified lazily on first Get.
+func Open(dir string, lruSize int) (*Store, error) {
+	if lruSize <= 0 {
+		lruSize = DefaultLRUSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, known: make(map[string]bool), lru: newLRU(lruSize)}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		// A Put interrupted between CreateTemp and Rename (crash,
+		// SIGKILL) leaves a ".<key>.tmp*" file behind; no running Put
+		// can still hold one at Open time, so sweep them here rather
+		// than leak disk across restarts.
+		if strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".json")
+		if len(key) == sha256.Size*2 {
+			s.known[key] = true
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len reports how many records the store holds on disk.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.known)
+}
+
+// Counters reports the Get hit/miss totals since Open.
+func (s *Store) Counters() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Has reports whether a record for key is on disk, without decoding it.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.known[key]
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the record stored under key. ok is false when the store
+// has no such record; a record that exists but fails to decode or
+// verify is returned as an error.
+func (s *Store) Get(key string) (rec *Record, ok bool, err error) {
+	s.mu.Lock()
+	if rec, ok := s.lru.get(key); ok {
+		s.hits++
+		s.mu.Unlock()
+		return rec, true, nil
+	}
+	if !s.known[key] {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		// Deleted behind our back; drop it from the index.
+		s.mu.Lock()
+		delete(s.known, key)
+		s.misses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	rec = new(Record)
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, false, fmt.Errorf("store: record %s: %w", key, err)
+	}
+	if err := rec.verify(); err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	s.hits++
+	s.lru.put(key, rec)
+	s.mu.Unlock()
+	return rec, true, nil
+}
+
+// GetSpec is Get keyed by a spec.
+func (s *Store) GetSpec(spec harness.Spec) (*Record, bool, error) {
+	return s.Get(KeyOf(spec))
+}
+
+// Put writes the record to disk atomically and caches it in memory.
+// Putting an existing key overwrites it (records are pure functions of
+// their spec, so the bytes are identical anyway).
+func (s *Store) Put(rec *Record) error {
+	if err := rec.verify(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+rec.Key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(rec.Key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	s.known[rec.Key] = true
+	s.lru.put(rec.Key, rec)
+	s.mu.Unlock()
+	return nil
+}
+
+// PutResult stores a harness.Result and returns its record.
+func (s *Store) PutResult(res harness.Result) (*Record, error) {
+	rec := FromResult(res)
+	if err := s.Put(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func testSpec() harness.Spec {
+	return harness.Spec{App: "FFT", Procs: 4, Scheme: "Rebound", Scale: harness.Quick}
+}
+
+// freshResult simulates spec on a private runner, so every call is an
+// independent execution (no shared memoization with the store under
+// test).
+func freshResult(t *testing.T, spec harness.Spec) harness.Result {
+	t.Helper()
+	res, err := harness.NewRunner(1).RunOne(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRoundTripByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	orig := freshResult(t, spec)
+	if _, err := s.PutResult(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-open: a fresh process must serve the record from disk alone.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store indexed %d records, want 1", s2.Len())
+	}
+	rec, ok, err := s2.GetSpec(spec)
+	if err != nil || !ok {
+		t.Fatalf("GetSpec after reopen: ok=%v err=%v", ok, err)
+	}
+
+	// The decoded record must be byte-identical to an independent fresh
+	// simulation: same snapshot serialization of every counter and
+	// record, same cycle count, same power report.
+	fresh := freshResult(t, spec)
+	if got, want := rec.Stats.Snapshot(), fresh.St.Snapshot(); got != want {
+		t.Fatalf("decoded stats diverge from fresh run:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+	if rec.Cycles != fresh.Cycles {
+		t.Fatalf("cycles %d != fresh %d", rec.Cycles, fresh.Cycles)
+	}
+	if rec.Power != fresh.Power {
+		t.Fatalf("power report diverged: %+v vs %+v", rec.Power, fresh.Power)
+	}
+	if rec.Spec.Key() != spec.Key() {
+		t.Fatalf("spec key diverged: %s vs %s", rec.Spec.Key(), spec.Key())
+	}
+	if res := rec.Result(); res.St.Snapshot() != fresh.St.Snapshot() {
+		t.Fatal("Record.Result lost data")
+	}
+}
+
+func TestGetMissAndCounters(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.GetSpec(testSpec()); ok || err != nil {
+		t.Fatalf("empty store Get: ok=%v err=%v", ok, err)
+	}
+	if _, err := s.PutResult(freshResult(t, testSpec())); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.GetSpec(testSpec()); !ok {
+		t.Fatal("stored record not found")
+	}
+	hits, misses := s.Counters()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("counters hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if !s.Has(KeyOf(testSpec())) {
+		t.Fatal("Has false for stored key")
+	}
+}
+
+func TestLRUEvictionStillServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1) // room for exactly one decoded record
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testSpec()
+	b := testSpec()
+	b.Procs = 8
+	for _, spec := range []harness.Spec{a, b} {
+		if _, err := s.PutResult(freshResult(t, spec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.lru.len() != 1 {
+		t.Fatalf("lru holds %d records, want 1", s.lru.len())
+	}
+	// a was evicted from memory; it must still come back from disk.
+	rec, ok, err := s.GetSpec(a)
+	if err != nil || !ok {
+		t.Fatalf("evicted record not served from disk: ok=%v err=%v", ok, err)
+	}
+	if rec.Spec.Procs != a.Procs {
+		t.Fatal("wrong record returned")
+	}
+}
+
+func TestCorruptRecordIsAnErrorNotAHit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.PutResult(freshResult(t, testSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper with a counter: decode must fail snapshot verification.
+	path := filepath.Join(dir, rec.Key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["cycles"] = 0
+	m["stats"].(map[string]any)["L1Hits"] = 12345.0
+	tampered, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s2.Get(rec.Key); err == nil || ok {
+		t.Fatalf("tampered record served: ok=%v err=%v", ok, err)
+	}
+
+	// Truncated JSON is also an error, not a miss.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s3.Get(rec.Key); err == nil || ok {
+		t.Fatalf("truncated record served: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "short.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("foreign files indexed: Len=%d", s.Len())
+	}
+	// README.txt is untouched: Open only sweeps its own temp files.
+	if _, err := os.Stat(filepath.Join(dir, "README.txt")); err != nil {
+		t.Fatalf("foreign file removed: %v", err)
+	}
+}
+
+func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
+	// A crash between CreateTemp and Rename leaves a ".<key>.tmp*"
+	// file; the next Open must remove it.
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, "."+strings.Repeat("ab", 32)+".tmp123456")
+	if err := os.WriteFile(orphan, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp file survived Open: %v", err)
+	}
+}
+
+func TestKeyOfIsURLSafe(t *testing.T) {
+	key := KeyOf(testSpec())
+	if len(key) != 64 {
+		t.Fatalf("key length %d, want 64", len(key))
+	}
+	if strings.ContainsAny(key, "/|= ") {
+		t.Fatalf("key %q not URL-safe", key)
+	}
+	other := testSpec()
+	other.Scheme = "Global"
+	if KeyOf(other) == key {
+		t.Fatal("distinct specs share a content address")
+	}
+}
