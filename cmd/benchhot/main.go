@@ -1,0 +1,248 @@
+// Command benchhot measures the simulator's hot-path benchmarks
+// (internal/benchhot) and maintains BENCH_hotpath.json, the repo's
+// machine-readable performance trajectory.
+//
+// Record a measurement under a label (merging into an existing file):
+//
+//	go run ./cmd/benchhot -label post-refactor -out BENCH_hotpath.json
+//
+// Gate a change against the committed trajectory (CI): re-measure and
+// fail when any benchmark's ops/sec drops more than -max-regress below
+// the baseline entry of the given label:
+//
+//	go run ./cmd/benchhot -check -baseline BENCH_hotpath.json \
+//	    -baseline-label post-refactor -max-regress 0.20 -out bench_current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/benchhot"
+)
+
+// Entry is one benchmark measurement in BENCH_hotpath.json.
+type Entry struct {
+	// Name identifies the benchmark; Label identifies the code state
+	// measured (e.g. "baseline-pre-refactor", "post-refactor").
+	Name        string  `json:"name"`
+	Label       string  `json:"label"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Date        string  `json:"date"`
+}
+
+var benches = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"SingleCell", benchhot.SingleCell},
+	{"Fig62Sweep", benchhot.Fig62Sweep},
+	{"ServicePath", benchhot.ServicePath},
+}
+
+func measure(label string) []Entry {
+	now := time.Now().UTC().Format("2006-01-02")
+	var out []Entry
+	for _, bm := range benches {
+		fmt.Fprintf(os.Stderr, "benchhot: running %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		ns := float64(r.NsPerOp())
+		if ns <= 0 {
+			ns = float64(r.T.Nanoseconds()) / float64(r.N)
+		}
+		e := Entry{
+			Name: bm.name, Label: label,
+			OpsPerSec:   1e9 / ns,
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Date:        now,
+		}
+		fmt.Fprintf(os.Stderr, "benchhot: %-12s %12.0f ops/sec  %10.1f ns/op  %d allocs/op\n",
+			e.Name, e.OpsPerSec, e.NsPerOp, e.AllocsPerOp)
+		out = append(out, e)
+	}
+	return out
+}
+
+func load(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// merge replaces same (name, label) entries and keeps everything else,
+// sorted by label then name for stable diffs.
+func merge(old, fresh []Entry) []Entry {
+	replaced := make(map[string]bool, len(fresh))
+	for _, e := range fresh {
+		replaced[e.Name+"|"+e.Label] = true
+	}
+	var out []Entry
+	for _, e := range old {
+		if !replaced[e.Name+"|"+e.Label] {
+			out = append(out, e)
+		}
+	}
+	out = append(out, fresh...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func save(path string, entries []Entry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// check compares fresh measurements against the baseline entries
+// carrying baseLabel. Two gates: ops/sec must not drop beyond
+// maxRegress (hardware-sensitive — the committed baseline was recorded
+// on one machine, so this catches gross regressions), and allocs/op
+// must not exceed the baseline by more than 25% (machine-independent —
+// in particular, a SingleCell baseline of 0 allocs/op means any new
+// per-op allocation fails).
+func check(fresh, baseline []Entry, baseLabel string, maxRegress float64) error {
+	base := make(map[string]Entry)
+	for _, e := range baseline {
+		if e.Label == baseLabel {
+			base[e.Name] = e
+		}
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("baseline has no entries labelled %q", baseLabel)
+	}
+	var failed bool
+	for _, e := range fresh {
+		b, ok := base[e.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchhot: %s: no %q baseline entry, skipping gate\n", e.Name, baseLabel)
+			continue
+		}
+		floor := b.OpsPerSec * (1 - maxRegress)
+		ratio := e.OpsPerSec / b.OpsPerSec
+		status := "ok"
+		if e.OpsPerSec < floor {
+			status = "REGRESSION"
+			failed = true
+		}
+		allocLimit := b.AllocsPerOp + b.AllocsPerOp/4
+		if e.AllocsPerOp > allocLimit {
+			status = "ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr,
+			"benchhot: gate %-12s %12.0f vs baseline %12.0f ops/sec (%.2fx, floor %.0f), %d vs %d allocs/op (limit %d): %s\n",
+			e.Name, e.OpsPerSec, b.OpsPerSec, ratio, floor, e.AllocsPerOp, b.AllocsPerOp, allocLimit, status)
+	}
+	if failed {
+		return fmt.Errorf("regression beyond gate (ops/sec -%.0f%% or allocs/op +25%%)", maxRegress*100)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		label      = flag.String("label", "current", "label to record measurements under")
+		out        = flag.String("out", "", "JSON file to merge measurements into")
+		doCheck    = flag.Bool("check", false, "gate against a baseline file")
+		baseline   = flag.String("baseline", "BENCH_hotpath.json", "baseline file for -check")
+		baseLabel  = flag.String("baseline-label", "post-refactor", "baseline label to gate against")
+		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed ops/sec drop for -check")
+	)
+	flag.Parse()
+
+	fresh := measure(*label)
+
+	// The trajectory is written (emit, below) only after the gate ran:
+	// the best-of-two retry may replace noisy first samples, and the
+	// recorded numbers must be the ones that were actually judged.
+	emit := func() {
+		if *out != "" {
+			old, err := load(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchhot: %v\n", err)
+				os.Exit(1)
+			}
+			if err := save(*out, merge(old, fresh)); err != nil {
+				fmt.Fprintf(os.Stderr, "benchhot: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchhot: wrote %s\n", *out)
+		} else {
+			data, _ := json.MarshalIndent(fresh, "", "  ")
+			fmt.Println(string(data))
+		}
+	}
+
+	if *doCheck {
+		base, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchhot: %v\n", err)
+			os.Exit(1)
+		}
+		err = check(fresh, base, *baseLabel, *maxRegress)
+		if err != nil {
+			// Best-of-two: a single testing.Benchmark sample on a noisy
+			// shared runner can dip below the floor without any code
+			// change. Re-measure once and keep, per benchmark, the
+			// faster sample whole — except allocs/op, which is gated on
+			// the WORSE of the two samples: the retry forgives only
+			// throughput noise, never an allocation regression.
+			fmt.Fprintf(os.Stderr, "benchhot: first sample failed (%v); re-measuring once\n", err)
+			second := measure(*label)
+			for i := range fresh {
+				worstAllocs := fresh[i].AllocsPerOp
+				if second[i].AllocsPerOp > worstAllocs {
+					worstAllocs = second[i].AllocsPerOp
+				}
+				if second[i].OpsPerSec > fresh[i].OpsPerSec {
+					fresh[i] = second[i]
+				}
+				fresh[i].AllocsPerOp = worstAllocs
+			}
+			err = check(fresh, base, *baseLabel, *maxRegress)
+		}
+		if err != nil {
+			emit() // record the failing numbers too: red runs are data
+			fmt.Fprintf(os.Stderr, "benchhot: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchhot: gate passed")
+	}
+	emit()
+}

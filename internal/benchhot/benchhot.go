@@ -1,0 +1,122 @@
+// Package benchhot defines the simulator hot-path benchmark bodies.
+// They are shared by two entry points: the root bench_hotpath_test.go
+// wrappers (go test -bench=Hot) and cmd/benchhot, which runs them via
+// testing.Benchmark and emits machine-readable results into
+// BENCH_hotpath.json so the repo carries a performance trajectory
+// across PRs (see README "Performance").
+//
+// Three benchmarks cover the three layers the per-op pipeline feeds:
+//
+//   - SingleCell: one steady-state simulation cell; each benchmark op
+//     is ONE committed instruction, so ns/op is the per-instruction cost
+//     of the workload-gen -> cache -> directory -> signature -> log
+//     pipeline and allocs/op is its steady-state allocation rate (the
+//     0-allocs/op contract).
+//   - Fig62Sweep: the full Figure 6.2 sweep (26 cells) on a fresh
+//     runner each iteration — the figure-driver throughput a user sees.
+//   - ServicePath: the reboundd HTTP service answering a POST /v1/runs
+//     that hits the persistent store — the service-path request rate.
+package benchhot
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// SingleCellSpec is the cell SingleCell measures: a Figure 6.2 cell
+// (SPLASH-2 FFT under Rebound at the quick scale's full machine size).
+func SingleCellSpec() harness.Spec {
+	return harness.Spec{App: "FFT", Procs: harness.Quick.ProcsLarge,
+		Scheme: "Rebound", Scale: harness.Quick}
+}
+
+// SingleCell benchmarks the steady-state per-op pipeline of one cell.
+// The machine is built and warmed past its first checkpoint intervals
+// outside the timer; the timed region commits exactly b.N instructions.
+func SingleCell(b *testing.B) {
+	m, err := harness.Build(SingleCellSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up: well past cold caches and the first checkpoint rounds.
+	m.Run(uint64(4*harness.Quick.Interval) * uint64(m.Cfg.NProcs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(uint64(b.N))
+	b.StopTimer()
+}
+
+// Fig62Sweep benchmarks the full Figure 6.2 sweep on a fresh runner
+// (no memoized cells) per iteration.
+func Fig62Sweep(b *testing.B) {
+	specs := harness.Fig62Specs(harness.Quick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(0)
+		if _, err := r.Run(context.Background(), specs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// ServicePath benchmarks the service request path: POST /v1/runs
+// answered from the store (the steady state of a figure-serving
+// deployment; the one simulation happens outside the timer).
+func ServicePath(b *testing.B) {
+	dir, err := os.MkdirTemp("", "benchhot-store-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		Runner: harness.NewRunner(0), Store: st, Scale: harness.Quick,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	const body = `{"app":"FFT","procs":4,"scheme":"Rebound"}`
+	post := func() error {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := post(); err != nil { // prime: the one real simulation
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := post(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}

@@ -60,9 +60,46 @@ type Line struct {
 // Valid reports whether the line holds data.
 func (l *Line) Valid() bool { return l.State != Invalid }
 
+// Arena is a reusable backing store for cache line arrays. A simulation
+// cell allocates several hundred KB of cache lines; sweeping thousands
+// of cells re-uses one arena per worker (harness.Runner keeps them in a
+// sync.Pool) instead of churning the GC. The zero value is ready.
+type Arena struct {
+	buf []Line
+	off int
+}
+
+// Reset makes the whole arena available again. The previous cell's
+// caches must be dead (the harness recycles an arena only after its
+// machine is unreachable).
+func (a *Arena) Reset() { a.off = 0 }
+
+// take returns n zeroed lines backed by the arena.
+func (a *Arena) take(n int) []Line {
+	if a.off+n > len(a.buf) {
+		if a.off+n <= cap(a.buf) {
+			a.buf = a.buf[:a.off+n]
+		} else {
+			// Grow with headroom so filling a fresh arena (one take per
+			// cache) extends in place instead of reallocating per call.
+			// No copy of the handed-out prefix: earlier caches keep
+			// their (still live) slices of the old backing array, and
+			// nothing reads the prefix through the arena itself.
+			need := a.off + n
+			a.buf = make([]Line, need, 2*need)
+		}
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	clear(s) // previous cell's contents must not leak into this one
+	return s
+}
+
 // Cache is a set-associative, LRU cache. Addresses are line-granular.
+// Lines are stored in one flat slice (set i occupies lines[i*ways :
+// (i+1)*ways]) for locality and a single allocation.
 type Cache struct {
-	sets    [][]Line
+	lines   []Line
 	nsets   int
 	ways    int
 	lruTick uint64
@@ -71,6 +108,12 @@ type Cache struct {
 // New builds a cache of sizeBytes capacity with the given associativity
 // and line size. nsets is forced to a power of two.
 func New(sizeBytes, ways, lineBytes int) *Cache {
+	return NewIn(nil, sizeBytes, ways, lineBytes)
+}
+
+// NewIn is New with the line array taken from arena (nil means a fresh
+// heap allocation).
+func NewIn(arena *Arena, sizeBytes, ways, lineBytes int) *Cache {
 	if ways < 1 || lineBytes < 1 || sizeBytes < ways*lineBytes {
 		panic("cache: bad geometry")
 	}
@@ -81,9 +124,11 @@ func New(sizeBytes, ways, lineBytes int) *Cache {
 		p *= 2
 	}
 	nsets = p
-	c := &Cache{nsets: nsets, ways: ways, sets: make([][]Line, nsets)}
-	for i := range c.sets {
-		c.sets[i] = make([]Line, ways)
+	c := &Cache{nsets: nsets, ways: ways}
+	if arena != nil {
+		c.lines = arena.take(nsets * ways)
+	} else {
+		c.lines = make([]Line, nsets*ways)
 	}
 	return c
 }
@@ -98,7 +143,8 @@ func (c *Cache) Ways() int { return c.ways }
 func (c *Cache) Capacity() int { return c.nsets * c.ways }
 
 func (c *Cache) set(addr uint64) []Line {
-	return c.sets[int(addr)&(c.nsets-1)]
+	si := int(addr) & (c.nsets - 1)
+	return c.lines[si*c.ways : si*c.ways+c.ways]
 }
 
 // Lookup returns the line holding addr, touching LRU, or nil on miss.
@@ -174,25 +220,21 @@ func (c *Cache) Invalidate(addr uint64) (Line, bool) {
 // line first. Used on rollback (§3.3.5: rolled-back caches are
 // invalidated; their dirty data is abandoned, the log restores memory).
 func (c *Cache) InvalidateAll(fn func(Line)) {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].State != Invalid {
-				if fn != nil {
-					fn(c.sets[si][wi])
-				}
-				c.sets[si][wi] = Line{}
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			if fn != nil {
+				fn(c.lines[i])
 			}
+			c.lines[i] = Line{}
 		}
 	}
 }
 
 // ForEach visits every valid line. The *Line may be mutated.
 func (c *Cache) ForEach(fn func(*Line)) {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].State != Invalid {
-				fn(&c.sets[si][wi])
-			}
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(&c.lines[i])
 		}
 	}
 }

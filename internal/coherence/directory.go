@@ -14,12 +14,20 @@
 // requesting processor is charged the transaction latency, and the
 // extra dependence-maintenance messages are accounted separately
 // (Table 6.1 row 3).
+//
+// Directory state is stored in flat slices indexed by interned line IDs
+// (the machine-wide mem.LineTable): one owner word, one LW-ID word and
+// a fixed number of sharer-bitmap words per line, so a transaction pays
+// a single intern lookup and then runs on dense arrays. Sharer updates
+// are batched per transaction: the invalidation fan-out walks the
+// bitmap words inline and accounts messages once, instead of per-sharer
+// closure calls into a heap-allocated bitset.
 package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
-	"repro/internal/bitset"
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -54,12 +62,6 @@ type Node interface {
 
 const noProc = -1
 
-type entry struct {
-	owner   int
-	sharers *bitset.Bitset
-	lwid    int
-}
-
 // Directory is the (logically distributed, physically one-per-tile)
 // full-map directory.
 type Directory struct {
@@ -67,39 +69,80 @@ type Directory struct {
 	st    *stats.Stats
 	ctrl  *mem.Controller
 	nodes []Node
+	tab   *mem.LineTable
 
-	entries map[uint64]*entry
+	// Per-line state, indexed by interned line ID. sharers holds wpp
+	// bitmap words per line, carved from one backing slice.
+	owner   []int32
+	lwid    []int32
+	sharers []uint64
+	wpp     int
 
 	// L2HitCycles is charged for the remote L2 access on forwarded
 	// requests.
 	L2HitCycles sim.Cycle
 }
 
-// New returns a directory for the given tiles.
+// New returns a directory for the given tiles, sharing the memory
+// controller's line table.
 func New(tp *topo.Topology, st *stats.Stats, ctrl *mem.Controller, nodes []Node) *Directory {
+	wpp := (len(nodes) + 63) / 64
+	if wpp < 1 {
+		wpp = 1
+	}
 	return &Directory{
 		topo:        tp,
 		st:          st,
 		ctrl:        ctrl,
 		nodes:       nodes,
-		entries:     make(map[uint64]*entry),
+		tab:         ctrl.Memory().Table(),
+		wpp:         wpp,
 		L2HitCycles: 8,
 	}
 }
 
-func (d *Directory) entryFor(line uint64) *entry {
-	e := d.entries[line]
-	if e == nil {
-		e = &entry{owner: noProc, lwid: noProc, sharers: bitset.New(len(d.nodes))}
-		d.entries[line] = e
+// entryID interns line and grows the per-line state to cover it. Other
+// users of the shared table (memory, log) may have interned lines this
+// directory has never seen, so growth tracks the table, not just
+// directory traffic.
+func (d *Directory) entryID(line uint64) int32 {
+	id := d.tab.ID(line)
+	for int(id) >= len(d.owner) {
+		d.owner = append(d.owner, noProc)
+		d.lwid = append(d.lwid, noProc)
+		for i := 0; i < d.wpp; i++ {
+			d.sharers = append(d.sharers, 0)
+		}
 	}
-	return e
+	return id
+}
+
+// sharerWords returns the sharer bitmap of id.
+func (d *Directory) sharerWords(id int32) []uint64 {
+	off := int(id) * d.wpp
+	return d.sharers[off : off+d.wpp : off+d.wpp]
+}
+
+func setBit(w []uint64, i int) { w[i>>6] |= 1 << uint(i&63) }
+func clrBit(w []uint64, i int) { w[i>>6] &^= 1 << uint(i&63) }
+
+func testBit(w []uint64, i int) bool { return w[i>>6]&(1<<uint(i&63)) != 0 }
+
+func clearWords(w []uint64) { clear(w) }
+
+func wordsEmpty(w []uint64) bool {
+	for _, x := range w {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // LWID returns the last-writer field of line (noProc==-1 when null).
 func (d *Directory) LWID(line uint64) int {
-	if e := d.entries[line]; e != nil {
-		return e.lwid
+	if id, ok := d.tab.Lookup(line); ok && int(id) < len(d.lwid) {
+		return int(d.lwid[id])
 	}
 	return noProc
 }
@@ -111,18 +154,18 @@ func (d *Directory) LWID(line uint64) int {
 // piggybacked marks the LW-ID processor as already on the transaction's
 // message path (the recalled owner), in which case the query rides the
 // existing messages for free.
-func (d *Directory) recordDependence(pid int, line uint64, e *entry, piggybacked bool) {
-	lw := e.lwid
-	if lw == noProc || lw == pid {
+func (d *Directory) recordDependence(pid int, line uint64, id int32, piggybacked bool) {
+	lw := d.lwid[id]
+	if lw == noProc || int(lw) == pid {
 		return
 	}
 	if !piggybacked {
 		d.st.DepMessages += 2 // query to LW-ID proc + its reply
 	}
 	ok, exact := d.nodes[lw].LastWriterCheck(line, pid)
-	d.nodes[pid].AddProducer(lw, exact)
+	d.nodes[pid].AddProducer(int(lw), exact)
 	if !ok {
-		e.lwid = noProc // NO_WR: stale LW-ID cleared
+		d.lwid[id] = noProc // NO_WR: stale LW-ID cleared
 	}
 }
 
@@ -139,13 +182,12 @@ type ReadResult struct {
 
 // Read performs a GetS transaction for pid on line.
 func (d *Directory) Read(pid int, line uint64) ReadResult {
-	e := d.entryFor(line)
+	id := d.entryID(line)
 	home := d.topo.Home(line)
 	lat := d.topo.Latency(pid, home)
 	d.st.CohMessages++ // request
 
-	if e.owner != noProc && e.owner != pid {
-		owner := e.owner
+	if owner := d.owner[id]; owner != noProc && int(owner) != pid {
 		data, dirty, epoch, ok := d.nodes[owner].Recall(line, false)
 		if ok {
 			// Forward to owner; owner supplies the line and downgrades
@@ -153,40 +195,46 @@ func (d *Directory) Read(pid int, line uint64) ReadResult {
 			// (MESI M→S), which the controller logs — off the read's
 			// critical path.
 			d.st.CohMessages += 3 // fwd, data-to-requester, ack-to-home
-			lat += d.topo.Latency(home, owner) + d.L2HitCycles + d.topo.Latency(owner, pid)
+			lat += d.topo.Latency(home, int(owner)) + d.L2HitCycles + d.topo.Latency(int(owner), pid)
 			if dirty {
-				d.ctrl.Writeback(owner, epoch, line, data)
+				d.ctrl.WritebackID(int(owner), epoch, id, line, data)
 			}
-			e.sharers.Set(owner)
-			e.owner = noProc
-			e.sharers.Set(pid)
-			d.recordDependence(pid, line, e, e.lwid == owner)
+			sh := d.sharerWords(id)
+			setBit(sh, int(owner))
+			d.owner[id] = noProc
+			setBit(sh, pid)
+			d.recordDependence(pid, line, id, d.lwid[id] == owner)
 			return ReadResult{Data: data, State: cache.Shared, Latency: lat}
 		}
 		// Stale owner (silent clean eviction): fall through to memory.
-		e.owner = noProc
+		d.owner[id] = noProc
 	}
 
-	d.recordDependence(pid, line, e, false)
+	d.recordDependence(pid, line, id, false)
 
 	// If clean sharers exist, the nearest one supplies the line
 	// cache-to-cache (the paper's ~60-cycle remote-L2 path); memory for
 	// S lines is up to date, so the value is memory's. Otherwise the
 	// line comes from main memory.
+	sh := d.sharerWords(id)
 	supplier := -1
-	e.sharers.ForEach(func(i int) {
-		if i == pid {
-			return
+	for wi, w := range sh {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if i == pid {
+				continue
+			}
+			if supplier < 0 || d.topo.Hops(home, i) < d.topo.Hops(home, supplier) {
+				supplier = i
+			}
 		}
-		if supplier < 0 || d.topo.Hops(home, i) < d.topo.Hops(home, supplier) {
-			supplier = i
-		}
-	})
-	data := d.ctrl.Memory().Read(line)
+	}
+	data := d.ctrl.Memory().ReadID(id)
 	if supplier >= 0 {
 		d.st.CohMessages += 3 // fwd, data, ack
 		lat += d.topo.Latency(home, supplier) + d.L2HitCycles + d.topo.Latency(supplier, pid)
-		e.sharers.Set(pid)
+		setBit(sh, pid)
 		return ReadResult{Data: data, State: cache.Shared, Latency: lat}
 	}
 	memLat := d.ctrl.DRAM().ReadLatency(line)
@@ -194,9 +242,9 @@ func (d *Directory) Read(pid int, line uint64) ReadResult {
 	d.st.CohMessages++ // data message
 	// No other copies: grant Exclusive (RDX). Like a write, this sets
 	// LW-ID, because the processor may write silently later.
-	e.sharers.Reset()
-	e.owner = pid
-	e.lwid = pid
+	clearWords(sh)
+	d.owner[id] = int32(pid)
+	d.lwid[id] = int32(pid)
 	return ReadResult{Data: data, State: cache.Exclusive, Latency: lat}
 }
 
@@ -211,7 +259,7 @@ type WriteResult struct {
 // requester ends as exclusive owner; the machine marks its cached copy
 // Modified and inserts the line in its current WSIG.
 func (d *Directory) Write(pid int, line uint64) WriteResult {
-	e := d.entryFor(line)
+	id := d.entryID(line)
 	home := d.topo.Home(line)
 	lat := d.topo.Latency(pid, home)
 	d.st.CohMessages++ // request
@@ -221,63 +269,78 @@ func (d *Directory) Write(pid int, line uint64) WriteResult {
 	// The dependence query rides for free on messages the transaction
 	// already sends when the LW-ID processor is the recalled owner or
 	// one of the invalidated sharers.
-	piggy := e.lwid != noProc && (e.lwid == e.owner || e.sharers.Test(e.lwid))
+	lw := d.lwid[id]
+	piggy := lw != noProc && (lw == d.owner[id] || testBit(d.sharerWords(id), int(lw)))
 
-	if e.owner != noProc && e.owner != pid {
-		owner := e.owner
+	if owner := d.owner[id]; owner != noProc && int(owner) != pid {
 		if od, _, _, ok := d.nodes[owner].Recall(line, true); ok {
 			// Dirty (or clean-exclusive) copy migrates cache-to-cache;
 			// memory is not updated — the old value reaches the log
 			// whenever the line is eventually written back.
 			d.st.CohMessages += 3
-			lat += d.topo.Latency(home, owner) + d.L2HitCycles + d.topo.Latency(owner, pid)
+			lat += d.topo.Latency(home, int(owner)) + d.L2HitCycles + d.topo.Latency(int(owner), pid)
 			data, gotData = od, true
 		}
-		e.owner = noProc
+		d.owner[id] = noProc
 	}
 
 	// Invalidate all other sharers; latency is the worst sharer round
-	// trip (invalidations go in parallel).
+	// trip (invalidations go in parallel). The fan-out is batched: one
+	// pass over the bitmap words, messages accounted once at the end.
+	//
+	// sh is (re-)fetched after every Node callback section: entryID
+	// growth reallocates the sharers backing array, so a sub-slice must
+	// never be held across a call that could intern a new line. Today
+	// no callback does (Recall's delayed-writeback path only touches
+	// the already-interned recalled line), but holding a stale slice
+	// here would silently drop sharer bits.
+	sh := d.sharerWords(id)
 	var worst sim.Cycle
 	wasSharer := false
-	e.sharers.ForEach(func(s int) {
-		if s == pid {
-			wasSharer = true
-			return
+	invalidated := 0
+	for wi, w := range sh {
+		for w != 0 {
+			s := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if s == pid {
+				wasSharer = true
+				continue
+			}
+			d.nodes[s].InvalidateShared(line)
+			invalidated++
+			if rt := 2 * d.topo.Latency(home, s); rt > worst {
+				worst = rt
+			}
 		}
-		d.nodes[s].InvalidateShared(line)
-		d.st.CohMessages += 2 // inval + ack
-		if rt := 2 * d.topo.Latency(home, s); rt > worst {
-			worst = rt
-		}
-	})
+	}
+	d.st.CohMessages += uint64(2 * invalidated) // inval + ack per sharer
 	lat += worst
 
 	if !gotData {
 		switch {
-		case wasSharer || e.owner == pid:
+		case wasSharer || d.owner[id] == int32(pid):
 			// Upgrade: requester already has the data.
 			d.st.CohMessages++ // grant
 			lat += d.topo.Latency(home, pid)
-			data = d.ctrl.Memory().Read(line)
+			data = d.ctrl.Memory().ReadID(id)
 		case worst > 0:
 			// An invalidated sharer supplied the (memory-current) data
 			// cache-to-cache along with its ack.
 			d.st.CohMessages++ // data message
 			lat += d.topo.Latency(home, pid)
-			data = d.ctrl.Memory().Read(line)
+			data = d.ctrl.Memory().ReadID(id)
 		default:
 			memLat := d.ctrl.DRAM().ReadLatency(line)
 			lat += memLat + d.topo.Latency(home, pid)
 			d.st.CohMessages++ // data message
-			data = d.ctrl.Memory().Read(line)
+			data = d.ctrl.Memory().ReadID(id)
 		}
 	}
 
-	d.recordDependence(pid, line, e, piggy)
-	e.sharers.Reset()
-	e.owner = pid
-	e.lwid = pid
+	d.recordDependence(pid, line, id, piggy)
+	clearWords(d.sharerWords(id)) // re-fetched: callbacks ran since sh
+	d.owner[id] = int32(pid)
+	d.lwid[id] = int32(pid)
 	return WriteResult{Data: data, Latency: lat}
 }
 
@@ -286,14 +349,14 @@ func (d *Directory) Write(pid int, line uint64) WriteResult {
 // It returns the channel completion cycle. LW-ID is deliberately not
 // cleared (§3.3.1: clearing it would lose dependence tracking).
 func (d *Directory) WritebackEvict(pid int, line uint64, data mem.Word, epoch uint64) sim.Cycle {
-	e := d.entryFor(line)
-	if e.owner == pid {
-		e.owner = noProc
+	id := d.entryID(line)
+	if d.owner[id] == int32(pid) {
+		d.owner[id] = noProc
 	}
-	e.sharers.Clear(pid)
+	clrBit(d.sharerWords(id), pid)
 	d.st.CohMessages++ // writeback message
 	d.st.L2WritebacksDemand++
-	return d.ctrl.Writeback(pid, epoch, line, data)
+	return d.ctrl.WritebackID(pid, epoch, id, line, data)
 }
 
 // WritebackRetain handles a checkpoint (or delayed) writeback: the data
@@ -306,13 +369,13 @@ func (d *Directory) WritebackRetain(pid int, line uint64, data mem.Word, epoch u
 	if background {
 		d.st.L2WritebacksBg++
 	}
-	return d.ctrl.Writeback(pid, epoch, line, data)
+	return d.ctrl.WritebackID(pid, epoch, d.entryID(line), line, data)
 }
 
 // DropShared records the silent eviction of a clean shared line.
 func (d *Directory) DropShared(pid int, line uint64) {
-	if e := d.entries[line]; e != nil {
-		e.sharers.Clear(pid)
+	if id, ok := d.tab.Lookup(line); ok && int(id) < len(d.owner) {
+		clrBit(d.sharerWords(id), pid)
 	}
 }
 
@@ -320,14 +383,17 @@ func (d *Directory) DropShared(pid int, line uint64) {
 // sharer bits are dropped and LW-IDs pointing at pid are cleared. Used
 // on rollback, after pid's caches are invalidated (§3.3.5).
 func (d *Directory) DetachProc(pid int) {
-	for _, e := range d.entries {
-		if e.owner == pid {
-			e.owner = noProc
+	for id := range d.owner {
+		if d.owner[id] == int32(pid) {
+			d.owner[id] = noProc
 		}
-		e.sharers.Clear(pid)
-		if e.lwid == pid {
-			e.lwid = noProc
+		if d.lwid[id] == int32(pid) {
+			d.lwid[id] = noProc
 		}
+	}
+	w, bit := pid>>6, uint64(1)<<uint(pid&63)
+	for off := w; off < len(d.sharers); off += d.wpp {
+		d.sharers[off] &^= bit
 	}
 }
 
@@ -338,19 +404,25 @@ func (d *Directory) DetachProc(pid int) {
 // currently has a valid copy of line; dirtyAt reports whether it is
 // dirty. Panics on violation; used by tests and debug runs.
 func (d *Directory) CheckInvariants(holds func(pid int, line uint64) (present, dirty bool)) {
-	for line, e := range d.entries {
-		if e.owner != noProc && !e.sharers.Empty() {
-			panic(fmt.Sprintf("coherence: line %#x owned by %d but has sharers %v", line, e.owner, e.sharers))
+	for id := range d.owner {
+		line := d.tab.Addr(int32(id))
+		sh := d.sharerWords(int32(id))
+		if d.owner[id] != noProc && !wordsEmpty(sh) {
+			panic(fmt.Sprintf("coherence: line %#x owned by %d but has sharers", line, d.owner[id]))
 		}
-		e.sharers.ForEach(func(s int) {
-			if present, dirty := holds(s, line); present && dirty {
-				panic(fmt.Sprintf("coherence: line %#x dirty at sharer %d", line, s))
+		for wi, w := range sh {
+			for w != 0 {
+				s := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if present, dirty := holds(s, line); present && dirty {
+					panic(fmt.Sprintf("coherence: line %#x dirty at sharer %d", line, s))
+				}
 			}
-		})
-		if e.owner != noProc {
+		}
+		if d.owner[id] != noProc {
 			// A silently evicted clean-exclusive line is allowed; a
 			// dirty line must never vanish without a writeback.
-			if present, _ := holds(e.owner, line); !present {
+			if present, _ := holds(int(d.owner[id]), line); !present {
 				continue
 			}
 		}

@@ -30,6 +30,12 @@ type Rebound struct {
 	ps   []*pstate
 
 	barOp *barrierOp
+
+	// closureSize scratch, pre-sized in Attach and reused across
+	// checkpoints so the twice-per-checkpoint closure computation does
+	// not allocate.
+	clIn    []bool
+	clQueue []int
 }
 
 // NewRebound returns a Rebound scheme with the given options.
@@ -57,6 +63,8 @@ func (r *Rebound) Attach(m *machine.Machine) {
 	for i, p := range m.Procs {
 		r.ps[i] = &pstate{p: p}
 	}
+	r.clIn = make([]bool, m.Cfg.NProcs)
+	r.clQueue = make([]int, 0, m.Cfg.NProcs)
 }
 
 // pstate is the per-processor protocol state.
@@ -140,11 +148,16 @@ func (r *Rebound) FaultDetected(p *machine.Proc) { r.startRollback(r.ps[p.ID()])
 // shadows (ideal write signature) are used instead; Table 6.1 row 1
 // compares the two.
 func (r *Rebound) closureSize(initiator int, exact bool) int {
-	in := map[int]bool{initiator: true}
-	queue := []int{initiator}
-	for len(queue) > 0 {
-		q := queue[0]
-		queue = queue[1:]
+	in := r.clIn
+	for i := range in {
+		in[i] = false
+	}
+	queue := r.clQueue[:0]
+	in[initiator] = true
+	queue = append(queue, initiator)
+	size := 1
+	for qi := 0; qi < len(queue); qi++ {
+		q := queue[qi]
 		regs := r.m.Procs[q].Deps().Current()
 		producers := regs.MyProducers
 		if exact {
@@ -163,10 +176,12 @@ func (r *Rebound) closureSize(initiator int, exact bool) int {
 				return
 			}
 			in[pr] = true
+			size++
 			queue = append(queue, pr)
 		})
 	}
-	return len(in)
+	r.clQueue = queue[:0]
+	return size
 }
 
 // record appends a checkpoint record and returns its index.

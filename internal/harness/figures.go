@@ -497,7 +497,7 @@ func FigureNames() []string {
 func FigureSpecs(name string, sc Scale) ([]Spec, error) {
 	id := strings.ToLower(strings.TrimSpace(name))
 	id = strings.TrimPrefix(id, "fig")
-	id = strings.TrimPrefix(id, "ure")  // "figure6.2"
+	id = strings.TrimPrefix(id, "ure") // "figure6.2"
 	id = strings.TrimSpace(strings.TrimPrefix(id, "."))
 	if strings.HasPrefix(id, "table") {
 		id = "t" + strings.TrimPrefix(id, "table")

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/power"
@@ -102,14 +103,11 @@ func SchemeNames() []string {
 	return append([]string(nil), schemeNames...)
 }
 
-// AppNames returns the valid application-profile names.
-func AppNames() []string {
-	var out []string
-	for _, p := range workload.All() {
-		out = append(out, p.Name)
-	}
-	return out
-}
+// AppNames returns the valid application-profile names: exactly the
+// names workload.ByName resolves (one shared registry, so the CLI and
+// service listings cannot advertise a different vocabulary than what
+// runs).
+func AppNames() []string { return workload.Names() }
 
 // MaxProcs bounds Spec.Procs: large enough for any paper configuration
 // (the full scale tops out at 64), small enough that a single request
@@ -190,6 +188,12 @@ func SchemeFor(name string) (machine.Scheme, error) {
 
 // Build constructs the machine for a spec without running it.
 func Build(spec Spec) (*machine.Machine, error) {
+	return BuildIn(nil, spec)
+}
+
+// BuildIn is Build with the cache arrays taken from arena (nil means
+// fresh allocations; the Runner passes pooled per-worker arenas).
+func BuildIn(arena *cache.Arena, spec Spec) (*machine.Machine, error) {
 	prof := workload.ByName(spec.App)
 	if prof == nil {
 		return nil, fmt.Errorf("harness: unknown application %q", spec.App)
@@ -214,7 +218,7 @@ func Build(spec Spec) (*machine.Machine, error) {
 	if spec.DepSets > 0 {
 		cfg.DepSets = spec.DepSets
 	}
-	m := machine.New(cfg, prof, sch)
+	m := machine.NewIn(arena, cfg, prof, sch)
 	if spec.LogAllWB {
 		m.Ctrl.Log().AlwaysLog = true
 	}
@@ -223,9 +227,11 @@ func Build(spec Spec) (*machine.Machine, error) {
 
 // runSpec executes the spec to its instruction budget on the calling
 // goroutine. It is the uncached primitive underneath the Runner: a
-// pure function of spec, with no shared state between invocations.
-func runSpec(spec Spec) (Result, error) {
-	m, err := Build(spec)
+// pure function of spec, with no shared state between invocations
+// (the arena only recycles memory, never carries state: every cache
+// line taken from it is zeroed).
+func runSpec(spec Spec, arena *cache.Arena) (Result, error) {
+	m, err := BuildIn(arena, spec)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestAppNamesMatchResolvable: the advertised -app vocabulary and the
+// resolvable one are the same set (the service and CLIs build their
+// error listings from AppNames and validate through workload.ByName).
+func TestAppNamesMatchResolvable(t *testing.T) {
+	names := AppNames()
+	if len(names) == 0 {
+		t.Fatal("empty app vocabulary")
+	}
+	for _, name := range names {
+		if workload.ByName(name) == nil {
+			t.Errorf("advertised app %q does not resolve", name)
+		}
+		spec := Spec{App: name, Procs: 4, Scheme: "Rebound", Scale: Quick}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("advertised app %q fails validation: %v", name, err)
+		}
+	}
+	for _, name := range workload.Names() {
+		found := false
+		for _, n := range names {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("resolvable app %q missing from AppNames", name)
+		}
+	}
+}
+
+// TestDeriveSeedInjectiveOverWorkloadIdentity: DeriveSeed must give
+// distinct machine seeds to distinct workload identities across the
+// full app × procs × scale vocabulary — a collision would silently pair
+// two unrelated cells onto one instruction stream. Scheme and hardware
+// knobs are deliberately NOT part of the identity (checked separately
+// below): every scheme of one workload shares a stream so overhead
+// comparisons stay paired.
+func TestDeriveSeedInjectiveOverWorkloadIdentity(t *testing.T) {
+	scales := []Scale{Quick, Full}
+	procs := []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+	seen := make(map[uint64]string)
+	for _, sc := range scales {
+		for _, app := range AppNames() {
+			for _, p := range procs {
+				spec := Spec{App: app, Procs: p, Scheme: "Rebound", Scale: sc}
+				seed := DeriveSeed(spec)
+				if seed == 0 {
+					t.Fatalf("%s: zero seed", spec.Key())
+				}
+				id := spec.Key()
+				if prev, ok := seen[seed]; ok {
+					t.Fatalf("seed collision between %s and %s (seed %#x)", prev, id, seed)
+				}
+				seen[seed] = id
+			}
+		}
+	}
+	t.Logf("checked %d distinct workload identities", len(seen))
+}
+
+// TestDeriveSeedPairsSchemesAndKnobs: the intended collisions — scheme
+// and hardware-knob variants of one workload share the stream.
+func TestDeriveSeedPairsSchemesAndKnobs(t *testing.T) {
+	base := Spec{App: "FFT", Procs: 8, Scheme: "none", Scale: Quick}
+	want := DeriveSeed(base)
+	for _, scheme := range SchemeNames() {
+		s := base
+		s.Scheme = scheme
+		if DeriveSeed(s) != want {
+			t.Errorf("scheme %q breaks stream pairing", scheme)
+		}
+	}
+	knob := base
+	knob.Scheme = "Rebound"
+	knob.WSIGBits = 512
+	knob.DepSets = 6
+	knob.LogAllWB = true
+	knob.IOForce = 1000
+	if DeriveSeed(knob) != want {
+		t.Error("hardware knobs break stream pairing")
+	}
+}

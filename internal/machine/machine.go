@@ -12,6 +12,7 @@
 package machine
 
 import (
+	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -134,6 +135,14 @@ type Machine struct {
 
 // New builds a machine running prof under scheme.
 func New(cfg Config, prof *workload.Profile, scheme Scheme) *Machine {
+	return NewIn(nil, cfg, prof, scheme)
+}
+
+// NewIn is New with the cache line arrays taken from arena (nil means
+// fresh heap allocations). The harness runner pools arenas across
+// sweep cells; the caller must not recycle the arena while the machine
+// is still in use.
+func NewIn(arena *cache.Arena, cfg Config, prof *workload.Profile, scheme Scheme) *Machine {
 	eng := sim.NewEngine()
 	st := stats.New(cfg.NProcs)
 	tp := topo.New(cfg.NProcs)
@@ -146,7 +155,7 @@ func New(cfg Config, prof *workload.Profile, scheme Scheme) *Machine {
 	nodes := make([]coherence.Node, cfg.NProcs)
 	m.Procs = make([]*Proc, cfg.NProcs)
 	for i := 0; i < cfg.NProcs; i++ {
-		p := newProc(m, i, prof)
+		p := newProc(m, i, prof, arena)
 		m.Procs[i] = p
 		nodes[i] = (*procNode)(p)
 	}

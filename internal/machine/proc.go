@@ -106,6 +106,13 @@ type Proc struct {
 	micro microState
 	tick  uint64 // per-proc op counter (store-value generator)
 
+	// stepFn and drainStepFn are the step/drainStep methods bound once
+	// at construction: a method value like p.step allocates a fresh
+	// closure at every use, which made the per-op scheduling path the
+	// simulator's second-largest allocation source.
+	stepFn      func()
+	drainStepFn func()
+
 	// Execution control.
 	stepScheduled bool
 	paused        bool
@@ -140,17 +147,19 @@ type Proc struct {
 	openPending bool
 }
 
-func newProc(m *Machine, id int, prof *workload.Profile) *Proc {
+func newProc(m *Machine, id int, prof *workload.Profile, arena *cache.Arena) *Proc {
 	cfg := m.Cfg
 	p := &Proc{
 		m:      m,
 		id:     id,
-		l1:     cache.New(cfg.L1Size, cfg.L1Ways, cfg.LineBytes),
-		l2:     cache.New(cfg.L2Size, cfg.L2Ways, cfg.LineBytes),
+		l1:     cache.NewIn(arena, cfg.L1Size, cfg.L1Ways, cfg.LineBytes),
+		l2:     cache.NewIn(arena, cfg.L2Size, cfg.L2Ways, cfg.LineBytes),
 		deps:   dep.NewTracker(cfg.DepSets, cfg.WSIGBits, cfg.WSIGHashes),
 		stream: workload.NewStream(prof, id, cfg.NProcs, cfg.Seed),
 		rng:    *sim.NewRNG(cfg.Seed*0x5851f42d4c957f2d + uint64(id) + 1),
 	}
+	p.stepFn = p.step
+	p.drainStepFn = p.drainStep
 	// The initial state is checkpoint 0: program start is axiomatically
 	// safe; rolling back to it replays from the beginning.
 	p.history = append(p.history, &CkptRec{
@@ -197,7 +206,7 @@ func (p *Proc) scheduleStep(delay sim.Cycle) {
 		return
 	}
 	p.stepScheduled = true
-	p.m.Eng.Schedule(delay, p.step)
+	p.m.Eng.Schedule(delay, p.stepFn)
 }
 
 func (p *Proc) step() {

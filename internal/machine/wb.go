@@ -72,7 +72,7 @@ func (p *Proc) StartDrain(done func()) {
 		return
 	}
 	p.draining = true
-	p.m.Eng.Schedule(1, p.drainStep)
+	p.m.Eng.Schedule(1, p.drainStepFn)
 }
 
 // RushDrain accelerates an in-progress drain to full channel speed
@@ -115,7 +115,7 @@ func (p *Proc) drainStep() {
 				next += depth / 2
 			}
 		}
-		p.m.Eng.Schedule(next+1, p.drainStep)
+		p.m.Eng.Schedule(next+1, p.drainStepFn)
 		return
 	}
 	p.draining = false

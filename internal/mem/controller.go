@@ -18,7 +18,10 @@ type Controller struct {
 }
 
 // NewController wires a controller to its memory, DRAM model and log.
+// The log is re-pointed at the memory's line table so both resolve the
+// same interned IDs (WritebackID relies on this).
 func NewController(eng *sim.Engine, st *stats.Stats, m *Memory, d *DRAM, l *Log) *Controller {
+	l.adoptTable(m.Table())
 	return &Controller{eng: eng, st: st, mem: m, dram: d, log: l}
 }
 
@@ -39,12 +42,19 @@ func (c *Controller) DRAM() *DRAM { return c.dram }
 // entry is actually appended) 2 accesses for the old-value read and
 // the log write.
 func (c *Controller) Writeback(pid int, epoch uint64, line uint64, w Word) sim.Cycle {
-	old := c.mem.Read(line)
+	return c.WritebackID(pid, epoch, c.mem.Table().ID(line), line, w)
+}
+
+// WritebackID is Writeback for a caller (the directory) that already
+// interned line as id: the whole logged-writeback pipeline then runs on
+// flat slices with no further hashing.
+func (c *Controller) WritebackID(pid int, epoch uint64, id int32, line uint64, w Word) sim.Cycle {
+	old := c.mem.ReadID(id)
 	accesses := 1
-	if c.log.Append(pid, epoch, line, old, c.eng.Now()) {
+	if c.log.AppendID(pid, epoch, id, line, old, c.eng.Now()) {
 		accesses += 2
 	}
-	c.mem.Write(line, w)
+	c.mem.WriteID(id, w)
 	c.st.MemWrites++
 	return c.dram.Occupy(line, accesses)
 }

@@ -35,21 +35,43 @@ const EntryBytes = 44
 // bank in the paper; we account one per bank).
 const StubBytes = 16
 
-// Log is the multi-banked in-memory undo log. Entries are kept in one
-// globally seq-ordered slice; the bank count only affects restore
-// parallelism accounting.
+// logKey identifies the (pid, epoch) of the most recent writeback of a
+// line; pid < 0 marks an empty slot.
+type logKey struct {
+	pid   int32
+	epoch uint64
+}
+
+// noEntries is the minEpoch sentinel for a processor with no live
+// entries.
+const noEntries = ^uint64(0)
+
+// Log is the multi-banked in-memory undo log. The global order is the
+// Seq stamp; entries are stored per processor (each list ascending in
+// Seq) so the once-per-checkpoint truncation scans one processor's
+// entries instead of the whole log — truncation used to be the largest
+// single cost of the checkpoint path. The bank count only affects
+// restore parallelism accounting.
 type Log struct {
 	st      *stats.Stats
-	entries []Entry
+	perPID  [][]Entry // ascending Seq within each processor
+	total   int
 	nextSeq uint64
 	banks   int
+	tab     *LineTable
 
 	// lastKey implements ReVive's "log only the first writeback of a
 	// line per checkpoint interval" optimisation: a writeback is not
 	// logged again if the most recent log entry for the line came from
-	// the same (pid, epoch). See log_test.go for why any weaker
-	// condition would be unsound.
-	lastKey map[uint64]logKey
+	// the same (pid, epoch). Indexed by interned line ID (flat, not a
+	// map: Append is on the writeback hot path). See log_test.go for
+	// why any weaker condition would be unsound.
+	lastKey []logKey
+
+	// minEpoch[pid] is the smallest epoch among pid's live entries
+	// (noEntries when it has none). Truncate uses it to skip the scan
+	// entirely when no entry can be dropped.
+	minEpoch []uint64
 
 	// AlwaysLog disables the optimisation (ablation mode).
 	AlwaysLog bool
@@ -60,43 +82,92 @@ type Log struct {
 	sinceStub uint64
 }
 
-type logKey struct {
-	pid   int
-	epoch uint64
+// NewLog returns a log banked banks ways with its own line table.
+func NewLog(st *stats.Stats, banks int) *Log {
+	return NewLogWith(st, banks, NewLineTable())
 }
 
-// NewLog returns a log banked banks ways.
-func NewLog(st *stats.Stats, banks int) *Log {
+// NewLogWith returns a log indexing lines through tab (shared with the
+// machine's Memory and Directory).
+func NewLogWith(st *stats.Stats, banks int, tab *LineTable) *Log {
 	if banks < 1 {
 		banks = 1
 	}
-	return &Log{st: st, banks: banks, lastKey: make(map[uint64]logKey)}
+	return &Log{st: st, banks: banks, tab: tab}
+}
+
+// adoptTable re-points the log at tab (the machine-wide shared table).
+// A log that has already interned lines under another table cannot
+// switch: its lastKey slots would alias wrong lines.
+func (l *Log) adoptTable(tab *LineTable) {
+	if l.tab == tab {
+		return
+	}
+	if len(l.lastKey) > 0 || l.total > 0 {
+		panic("mem: log cannot switch line tables after use")
+	}
+	l.tab = tab
 }
 
 // Banks returns the bank count.
 func (l *Log) Banks() int { return l.banks }
 
 // Len returns the number of live entries.
-func (l *Log) Len() int { return len(l.entries) }
+func (l *Log) Len() int { return l.total }
 
 // Bytes returns the current log footprint.
-func (l *Log) Bytes() uint64 { return uint64(len(l.entries)) * EntryBytes }
+func (l *Log) Bytes() uint64 { return uint64(l.total) * EntryBytes }
+
+func (l *Log) keyAt(id int32) *logKey {
+	for int(id) >= len(l.lastKey) {
+		l.lastKey = append(l.lastKey, logKey{pid: -1})
+	}
+	return &l.lastKey[id]
+}
+
+func (l *Log) growPID(pid int) {
+	for pid >= len(l.perPID) {
+		l.perPID = append(l.perPID, nil)
+		l.minEpoch = append(l.minEpoch, noEntries)
+	}
+}
+
+// rebuildMinEpochFor recomputes one processor's epoch floor after its
+// entries were removed (rollback, truncation) — rare paths.
+func (l *Log) rebuildMinEpochFor(pid int) {
+	min := noEntries
+	for i := range l.perPID[pid] {
+		if e := l.perPID[pid][i].Epoch; e < min {
+			min = e
+		}
+	}
+	l.minEpoch[pid] = min
+}
 
 // Append records an undo entry for line, unless the first-writeback
 // optimisation allows skipping it. It reports whether an entry was
 // actually appended (and hence whether the memory controller paid the
 // extra old-value read and log write).
 func (l *Log) Append(pid int, epoch uint64, line uint64, old Word, at sim.Cycle) bool {
-	if !l.AlwaysLog {
-		if k, ok := l.lastKey[line]; ok && k.pid == pid && k.epoch == epoch {
-			return false
-		}
+	return l.AppendID(pid, epoch, l.tab.ID(line), line, old, at)
+}
+
+// AppendID is Append for a caller that already interned line as id.
+func (l *Log) AppendID(pid int, epoch uint64, id int32, line uint64, old Word, at sim.Cycle) bool {
+	k := l.keyAt(id)
+	if !l.AlwaysLog && k.pid == int32(pid) && k.epoch == epoch {
+		return false
 	}
 	l.nextSeq++
-	l.entries = append(l.entries, Entry{
+	l.growPID(pid)
+	l.perPID[pid] = append(l.perPID[pid], Entry{
 		Seq: l.nextSeq, PID: pid, Epoch: epoch, Line: line, Old: old, At: at,
 	})
-	l.lastKey[line] = logKey{pid: pid, epoch: epoch}
+	l.total++
+	k.pid, k.epoch = int32(pid), epoch
+	if epoch < l.minEpoch[pid] {
+		l.minEpoch[pid] = epoch
+	}
 	l.st.LogEntries++
 	l.st.LogBytes += EntryBytes
 	l.sinceStub += EntryBytes
@@ -115,38 +186,47 @@ func (l *Log) Stub(at sim.Cycle) {
 	l.sinceStub = 0
 }
 
-// Rollback undoes, in reverse global order, every entry whose processor
-// is in target and whose epoch is >= target[pid], invoking restore for
-// each and removing the entries from the log. It returns the number of
-// entries restored.
+// Rollback undoes, in reverse global (Seq) order, every entry whose
+// processor is in target and whose epoch is >= target[pid], invoking
+// restore for each and removing the entries from the log. It returns
+// the number of entries restored.
 //
 // Restoring in reverse order across all processors in the set is what
 // makes interleaved writes by multiple rolled-back processors unwind
 // correctly (see the WW-dependence discussion in DESIGN.md).
 func (l *Log) Rollback(target map[int]uint64, restore func(line uint64, old Word)) uint64 {
-	var restored uint64
-	keep := l.entries[:0]
-	// Walk backwards applying restores; then compact forwards.
-	for i := len(l.entries) - 1; i >= 0; i-- {
-		e := l.entries[i]
-		if ep, ok := target[e.PID]; ok && e.Epoch >= ep {
-			restore(e.Line, e.Old)
-			// Invalidate the first-writeback key so a re-executed
-			// interval logs afresh.
-			if k, ok := l.lastKey[e.Line]; ok && k.pid == e.PID && k.epoch == e.Epoch {
-				delete(l.lastKey, e.Line)
-			}
-			restored++
-		}
-	}
-	for _, e := range l.entries {
-		if ep, ok := target[e.PID]; ok && e.Epoch >= ep {
+	// Collect the undone entries of every target processor, compacting
+	// each per-processor list in place.
+	var undo []Entry
+	for pid, ep := range target {
+		if pid < 0 || pid >= len(l.perPID) {
 			continue
 		}
-		keep = append(keep, e)
+		keep := l.perPID[pid][:0]
+		for _, e := range l.perPID[pid] {
+			if e.Epoch >= ep {
+				undo = append(undo, e)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		if len(keep) != len(l.perPID[pid]) {
+			l.perPID[pid] = keep
+			l.rebuildMinEpochFor(pid)
+		}
 	}
-	l.entries = keep
-	return restored
+	// Reverse global order across the whole set.
+	sort.Slice(undo, func(i, j int) bool { return undo[i].Seq > undo[j].Seq })
+	for _, e := range undo {
+		restore(e.Line, e.Old)
+		// Invalidate the first-writeback key so a re-executed interval
+		// logs afresh.
+		if k := l.keyAt(l.tab.ID(e.Line)); k.pid == int32(e.PID) && k.epoch == e.Epoch {
+			k.pid = -1
+		}
+	}
+	l.total -= len(undo)
+	return uint64(len(undo))
 }
 
 // Truncate discards entries older than the given per-processor safe
@@ -154,39 +234,51 @@ func (l *Log) Rollback(target map[int]uint64, restore func(line uint64, old Word
 // once no future rollback can target it. Processors absent from safe
 // keep all their entries. It returns the number discarded.
 func (l *Log) Truncate(safe map[int]uint64) int {
-	keep := l.entries[:0]
 	dropped := 0
-	for _, e := range l.entries {
-		if s, ok := safe[e.PID]; ok && e.Epoch < s {
-			dropped++
-			continue
+	for pid, s := range safe {
+		if pid < 0 || pid >= len(l.perPID) || l.minEpoch[pid] >= s {
+			continue // nothing droppable: the common per-checkpoint case
 		}
-		keep = append(keep, e)
+		keep := l.perPID[pid][:0]
+		for _, e := range l.perPID[pid] {
+			if e.Epoch < s {
+				dropped++
+				continue
+			}
+			keep = append(keep, e)
+		}
+		l.perPID[pid] = keep
+		l.rebuildMinEpochFor(pid)
 	}
-	l.entries = keep
+	l.total -= dropped
 	return dropped
 }
 
 // EntriesFor returns (for tests and debugging) the live entries of one
 // processor in ascending seq order.
 func (l *Log) EntriesFor(pid int) []Entry {
-	var out []Entry
-	for _, e := range l.entries {
-		if e.PID == pid {
-			out = append(out, e)
-		}
+	if pid < 0 || pid >= len(l.perPID) {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	return out
+	if len(l.perPID[pid]) == 0 {
+		return nil
+	}
+	return append([]Entry(nil), l.perPID[pid]...)
 }
 
 // CheckInvariants panics if the log's internal ordering is broken.
 func (l *Log) CheckInvariants() {
-	var prev uint64
-	for i, e := range l.entries {
-		if e.Seq <= prev {
-			panic(fmt.Sprintf("mem: log entry %d out of order (seq %d after %d)", i, e.Seq, prev))
+	for pid := range l.perPID {
+		var prev uint64
+		for i, e := range l.perPID[pid] {
+			if e.Seq <= prev {
+				panic(fmt.Sprintf("mem: log entry %d of pid %d out of order (seq %d after %d)",
+					i, pid, e.Seq, prev))
+			}
+			if e.PID != pid {
+				panic(fmt.Sprintf("mem: log entry %d filed under pid %d carries pid %d", i, pid, e.PID))
+			}
+			prev = e.Seq
 		}
-		prev = e.Seq
 	}
 }

@@ -18,51 +18,95 @@ type Word struct {
 }
 
 // Memory is the line-addressed main memory. Absent lines read as zero.
+// Lines live in a flat slice indexed by interned line IDs (LineTable);
+// the table is shared with the undo log and the coherence directory so
+// a hot-path transaction interns its address once.
 type Memory struct {
-	lines map[uint64]Word
+	tab     *LineTable
+	words   []Word
+	nonzero int
 }
 
-// NewMemory returns an empty memory.
-func NewMemory() *Memory { return &Memory{lines: make(map[uint64]Word)} }
+// NewMemory returns an empty memory with its own line table.
+func NewMemory() *Memory { return NewMemoryWith(NewLineTable()) }
+
+// NewMemoryWith returns an empty memory indexing lines through tab.
+func NewMemoryWith(tab *LineTable) *Memory { return &Memory{tab: tab} }
+
+// Table returns the line-interning table backing this memory.
+func (m *Memory) Table() *LineTable { return m.tab }
+
+// ReadID returns the content of the line interned as id.
+func (m *Memory) ReadID(id int32) Word {
+	if int(id) >= len(m.words) {
+		return Word{}
+	}
+	return m.words[id]
+}
+
+// WriteID stores w at the line interned as id.
+func (m *Memory) WriteID(id int32, w Word) {
+	for int(id) >= len(m.words) {
+		m.words = append(m.words, Word{})
+	}
+	old := m.words[id]
+	m.words[id] = w
+	if (old == Word{}) != (w == Word{}) {
+		if w == (Word{}) {
+			m.nonzero--
+		} else {
+			m.nonzero++
+		}
+	}
+}
 
 // Read returns the current content of line addr.
-func (m *Memory) Read(addr uint64) Word { return m.lines[addr] }
+func (m *Memory) Read(addr uint64) Word {
+	id, ok := m.tab.Lookup(addr)
+	if !ok {
+		return Word{}
+	}
+	return m.ReadID(id)
+}
 
 // Write stores w at line addr.
 func (m *Memory) Write(addr uint64, w Word) {
 	if w == (Word{}) {
-		delete(m.lines, addr)
+		// A zero write into a never-touched line must not intern it.
+		if id, ok := m.tab.Lookup(addr); ok {
+			m.WriteID(id, w)
+		}
 		return
 	}
-	m.lines[addr] = w
+	m.WriteID(m.tab.ID(addr), w)
 }
 
 // Len returns the number of non-zero lines.
-func (m *Memory) Len() int { return len(m.lines) }
+func (m *Memory) Len() int { return m.nonzero }
 
-// ForEach calls fn for every non-zero line (iteration order is not
-// deterministic; callers that need determinism must sort).
+// ForEach calls fn for every non-zero line (callers that need a
+// specific order must sort; the iteration order here is first-touch).
 func (m *Memory) ForEach(fn func(addr uint64, w Word)) {
-	for a, w := range m.lines {
-		fn(a, w)
+	for id, w := range m.words {
+		if w != (Word{}) {
+			fn(m.tab.Addr(int32(id)), w)
+		}
 	}
 }
 
 // Snapshot returns a deep copy of the memory contents, used by tests to
 // compare pre-fault and post-recovery state.
 func (m *Memory) Snapshot() map[uint64]Word {
-	s := make(map[uint64]Word, len(m.lines))
-	for a, w := range m.lines {
-		s[a] = w
-	}
+	s := make(map[uint64]Word, m.nonzero)
+	m.ForEach(func(a uint64, w Word) { s[a] = w })
 	return s
 }
 
 // AnyPoison returns one poisoned line address if any line is poisoned.
 func (m *Memory) AnyPoison() (uint64, bool) {
-	for a, w := range m.lines {
+	for id, w := range m.words {
 		if w.Poison {
-			return a, true
+			return m.tab.Addr(int32(id)), true
 		}
 	}
 	return 0, false

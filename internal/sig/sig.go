@@ -103,37 +103,97 @@ func (b *Bloom) PopCount() int {
 }
 
 // Exact is an idealised signature with no false positives, used as the
-// measurement baseline for Table 6.1 row 1.
+// measurement baseline for Table 6.1 row 1. It is an open-addressing
+// hash set over a reusable power-of-two slot array: steady-state
+// Insert/Test/Clear are allocation-free (a Go map would re-bucket and
+// allocate on the insert path, which runs once per store).
 type Exact struct {
-	set map[uint64]struct{}
+	slots   []uint64 // 0 marks an empty slot
+	n       int      // occupied slots
+	hasZero bool     // address 0, which cannot use the 0-is-empty code
 }
 
+const exactMinSlots = 64
+
 // NewExact returns an empty exact signature.
-func NewExact() *Exact { return &Exact{set: make(map[uint64]struct{})} }
+func NewExact() *Exact { return &Exact{slots: make([]uint64, exactMinSlots)} }
 
 // Insert records addr.
-func (e *Exact) Insert(addr uint64) { e.set[addr] = struct{}{} }
+func (e *Exact) Insert(addr uint64) {
+	if addr == 0 {
+		e.hasZero = true
+		return
+	}
+	if 4*(e.n+1) > 3*len(e.slots) { // keep load factor <= 3/4
+		e.grow()
+	}
+	mask := uint64(len(e.slots) - 1)
+	for i := mix(addr, 0) & mask; ; i = (i + 1) & mask {
+		switch e.slots[i] {
+		case 0:
+			e.slots[i] = addr
+			e.n++
+			return
+		case addr:
+			return
+		}
+	}
+}
+
+func (e *Exact) grow() {
+	old := e.slots
+	e.slots = make([]uint64, 2*len(old))
+	e.n = 0
+	for _, a := range old {
+		if a != 0 {
+			e.Insert(a)
+		}
+	}
+}
 
 // Test reports exact membership.
 func (e *Exact) Test(addr uint64) bool {
-	_, ok := e.set[addr]
-	return ok
+	if addr == 0 {
+		return e.hasZero
+	}
+	mask := uint64(len(e.slots) - 1)
+	for i := mix(addr, 0) & mask; ; i = (i + 1) & mask {
+		switch e.slots[i] {
+		case 0:
+			return false
+		case addr:
+			return true
+		}
+	}
 }
 
-// Clear empties the signature.
-func (e *Exact) Clear() { clear(e.set) }
+// Clear empties the signature, keeping the slot array for reuse.
+func (e *Exact) Clear() {
+	clear(e.slots)
+	e.n = 0
+	e.hasZero = false
+}
 
 // CopyFrom copies another Exact's contents.
 func (e *Exact) CopyFrom(src Signature) {
 	s := src.(*Exact)
-	clear(e.set)
-	for k := range s.set {
-		e.set[k] = struct{}{}
+	if cap(e.slots) < len(s.slots) {
+		e.slots = make([]uint64, len(s.slots))
+	} else {
+		e.slots = e.slots[:len(s.slots)]
 	}
+	copy(e.slots, s.slots)
+	e.n = s.n
+	e.hasZero = s.hasZero
 }
 
 // Len returns the number of distinct inserted addresses.
-func (e *Exact) Len() int { return len(e.set) }
+func (e *Exact) Len() int {
+	if e.hasZero {
+		return e.n + 1
+	}
+	return e.n
+}
 
 // Paired runs a Bloom filter alongside an exact set and counts the
 // tests on which they disagree (Bloom false positives).

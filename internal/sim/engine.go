@@ -4,8 +4,6 @@
 // and seed always produces the same execution.
 package sim
 
-import "container/heap"
-
 // Cycle is a point in simulated time, in core clock cycles (1 GHz in the
 // paper's configuration, so 1 cycle = 1 ns).
 type Cycle = uint64
@@ -16,30 +14,25 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, insertion order).
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
+//
+// The event queue is a hand-rolled binary min-heap rather than
+// container/heap: the interface-based API boxes every event on Push and
+// Pop, which made the scheduler the simulator's largest allocation
+// source (one heap allocation per scheduled op). The typed heap keeps
+// events in a reusable slice and allocates only on queue growth.
 type Engine struct {
 	now     Cycle
 	seq     uint64
-	heap    eventHeap
+	heap    []event
 	stopped bool
 }
 
@@ -49,12 +42,56 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
+// push inserts ev, sifting up to restore the heap order.
+func (e *Engine) push(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// pop removes and returns the minimum event. The queue must not be
+// empty.
+func (e *Engine) pop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the fn reference
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h[l].before(h[least]) {
+			least = l
+		}
+		if r < n && h[r].before(h[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	e.heap = h
+	return top
+}
+
 // Schedule runs fn after delay cycles. A delay of 0 runs fn after the
 // current event completes (still at the same cycle). Events scheduled
 // for the same cycle fire in scheduling order.
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.seq++
-	heap.Push(&e.heap, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.push(event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // At runs fn at the given absolute cycle, which must not be in the past.
@@ -77,12 +114,11 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(limit Cycle) Cycle {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		ev := e.heap[0]
-		if limit != 0 && ev.at > limit {
+		if limit != 0 && e.heap[0].at > limit {
 			e.now = limit
 			return e.now
 		}
-		heap.Pop(&e.heap)
+		ev := e.pop()
 		e.now = ev.at
 		ev.fn()
 	}
@@ -95,7 +131,7 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
+	ev := e.pop()
 	e.now = ev.at
 	ev.fn()
 	return true

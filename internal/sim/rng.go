@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // RNG is a small splitmix64 pseudo-random generator. It is used instead
 // of math/rand so that its state is a single word that can be captured
 // in processor snapshots and restored on rollback (re-execution after a
@@ -26,12 +28,28 @@ func (r *RNG) Next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Intn returns a value in [0, n). n must be positive.
+// Intn returns a uniform value in [0, n). n must be positive.
+//
+// The bounded draw is Lemire's multiply-shift rejection method: the
+// former Next()%n was modulo-biased for non-power-of-two n (low values
+// slightly over-represented), which skewed every profile knob routed
+// through Intn — backoff jitter, footprint indices, burst lengths.
+// State stays a single word (only Next advances it), so snapshot and
+// rollback semantics are unchanged: re-execution from a restored state
+// regenerates the identical draw sequence.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Next() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Next(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Next(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Float64 returns a value in [0, 1).

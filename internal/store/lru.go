@@ -4,6 +4,12 @@ import "container/list"
 
 // lruCache is a plain bounded LRU of decoded records. It is not
 // self-locking: Store.mu guards every call.
+//
+// Eviction safety: evicting a key only drops the cache's reference to
+// the decoded *Record — the on-disk file is never deleted, and Records
+// are immutable after Put, so a concurrent reader that obtained the
+// pointer (or is mid-read of the record's path on disk) keeps a valid
+// record. See TestStoreEvictionRaceStress.
 type lruCache struct {
 	cap   int
 	order *list.List               // front = most recent

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestStoreEvictionRaceStress hammers a tiny-LRU store with concurrent
+// Get/Put over more keys than the cache holds, so decoded records are
+// constantly evicted while other goroutines hold their pointers and
+// re-read their paths from disk. Run under -race (the CI test job does)
+// this pins the documented eviction-window invariants: eviction never
+// invalidates a held *Record, concurrent re-decodes of one key agree,
+// and concurrent Put-overwrites are never observed as torn records
+// (Get verifies every decode against its embedded snapshot).
+func TestStoreEvictionRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	// A handful of distinct cells; tiny scale keeps this fast.
+	sc := harness.Quick
+	sc.InstrPerProc = 5_000
+	runner := harness.NewRunner(0)
+	var specs []harness.Spec
+	for _, app := range []string{"FFT", "Barnes", "Uniform", "Apache", "Volrend", "Radix"} {
+		specs = append(specs, harness.Spec{App: app, Procs: 2, Scheme: "Rebound", Scale: sc})
+	}
+	results := make([]harness.Result, len(specs))
+	for i, spec := range specs {
+		res, err := runner.RunOne(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+
+	s, err := Open(t.TempDir(), 2) // LRU far smaller than the key set
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if _, err := s.PutResult(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers, rounds = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res := results[(w+i)%len(results)]
+				if w%3 == 0 {
+					// Overwriting putter: replaces files via atomic
+					// rename while readers are mid-Get.
+					if _, err := s.PutResult(res); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				rec, ok, err := s.Get(KeyOf(res.Spec))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ok {
+					errs <- errMissing(res.Spec)
+					return
+				}
+				// Hold the record across more churn and then use it:
+				// eviction must not invalidate it.
+				if rec.Cycles != res.Cycles || rec.Snapshot != res.St.Snapshot() {
+					errs <- errTorn(res.Spec)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMissing harness.Spec
+
+func (e errMissing) Error() string { return "record vanished for " + harness.Spec(e).Key() }
+
+type errTorn harness.Spec
+
+func (e errTorn) Error() string { return "torn/mismatched record for " + harness.Spec(e).Key() }

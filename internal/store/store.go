@@ -178,6 +178,17 @@ func (s *Store) path(key string) string {
 // Get returns the record stored under key. ok is false when the store
 // has no such record; a record that exists but fails to decode or
 // verify is returned as an error.
+//
+// Concurrency: the lock is dropped for the disk read, which opens two
+// windows, both benign by construction. (1) The LRU may evict the key
+// while a reader holds its path or its decoded *Record: eviction never
+// deletes the file and records are immutable, so the reader's view
+// stays valid. (2) Two readers may decode the same record concurrently
+// and both lru.put it: duplicated work, same bytes (records are pure
+// functions of their spec, and Put replaces files via atomic rename, so
+// a concurrent overwrite yields an identical, fully-written file).
+// These invariants are exercised under -race by
+// TestStoreEvictionRaceStress.
 func (s *Store) Get(key string) (rec *Record, ok bool, err error) {
 	s.mu.Lock()
 	if rec, ok := s.lru.get(key); ok {

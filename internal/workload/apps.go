@@ -114,25 +114,53 @@ func Uniform() *Profile {
 		SharedFrac: 0.10, GlobalFrac: 0.10, ClusterSize: 4}
 }
 
-// All returns every application profile in the paper's order:
-// SPLASH-2 (including Raytrace), then PARSEC, then Apache.
+// All returns every application profile in the paper's order —
+// SPLASH-2 (including Raytrace), then PARSEC, then Apache — followed by
+// the Uniform microbenchmark. All, ByName and Names are backed by the
+// same registry, so every name one of them knows is known to the
+// others: the CLI/service "unknown -app" listings advertise exactly the
+// resolvable vocabulary. Profiles are constructed fresh on every call;
+// callers may mutate them freely.
 func All() []*Profile {
 	out := SPLASH2()
 	out = append(out, Raytrace())
 	out = append(out, PARSEC()...)
 	out = append(out, Apache())
+	out = append(out, Uniform())
 	return out
 }
 
-// ByName returns the named profile, or nil.
-func ByName(name string) *Profile {
+// registry holds one prototype per profile name, built once from All().
+// It is the single source backing ByName and Names, which is what keeps
+// the resolvable vocabulary and the listings from drifting apart (it
+// also rejects duplicate names at init). Profile is a flat value type
+// (scalars and strings only), so handing out copies of the prototypes
+// keeps the fresh-instance contract without rebuilding every profile
+// per lookup.
+var registry, registryNames = func() (map[string]*Profile, []string) {
+	m := make(map[string]*Profile)
+	var names []string
 	for _, p := range All() {
-		if p.Name == name {
-			return p
+		if _, dup := m[p.Name]; dup {
+			panic("workload: duplicate profile name " + p.Name)
 		}
+		m[p.Name] = p
+		names = append(names, p.Name)
 	}
-	if name == "Uniform" {
-		return Uniform()
+	return m, names
+}()
+
+// Names returns every registered profile name in All() order.
+func Names() []string {
+	return append([]string(nil), registryNames...)
+}
+
+// ByName returns a fresh instance of the named profile, or nil.
+func ByName(name string) *Profile {
+	p, ok := registry[name]
+	if !ok {
+		return nil
 	}
-	return nil
+	c := *p
+	return &c
 }

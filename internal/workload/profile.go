@@ -103,6 +103,12 @@ type Stream struct {
 	core   int
 	nprocs int
 
+	// burst and scaledBurst cache Profile.burst() and its
+	// imbalance-scaled value for this core: both are per-op constants,
+	// and the float arithmetic showed up in the hot-path profile.
+	burst       int
+	scaledBurst int
+
 	rng sim.RNG
 
 	// instrs counts instructions emitted (compute weight included).
@@ -124,11 +130,20 @@ type Stream struct {
 
 // NewStream returns the op stream of core (of nprocs) under p.
 func NewStream(p *Profile, core, nprocs int, seed uint64) *Stream {
+	b := p.burst()
+	// Imbalance: later cores run longer bursts.
+	scale := 1.0
+	if p.Imbalance > 0 && nprocs > 1 {
+		scale = 1 + p.Imbalance*float64(core)/float64(nprocs-1)
+	}
+	scaled := int(float64(b)*scale + 0.5)
 	return &Stream{
-		prof:   p,
-		core:   core,
-		nprocs: nprocs,
-		rng:    *sim.NewRNG(seed ^ (uint64(core)+1)*0x9e3779b97f4a7c15),
+		prof:        p,
+		core:        core,
+		nprocs:      nprocs,
+		burst:       b,
+		scaledBurst: scaled,
+		rng:         *sim.NewRNG(seed ^ (uint64(core)+1)*0x9e3779b97f4a7c15),
 	}
 }
 
@@ -218,15 +233,8 @@ func (s *Stream) Next() Op {
 	// Alternate compute bursts with memory/sync ops.
 	if !s.pendingMem {
 		s.pendingMem = true
-		b := p.burst()
-		// Imbalance: later cores run longer bursts.
-		scale := 1.0
-		if p.Imbalance > 0 && s.nprocs > 1 {
-			scale = 1 + p.Imbalance*float64(s.core)/float64(s.nprocs-1)
-		}
-		n := int(float64(b)*scale + 0.5)
 		// Jitter to avoid lockstep.
-		n += s.rng.Intn(b + 1)
+		n := s.scaledBurst + s.rng.Intn(s.burst+1)
 		if n < 1 {
 			n = 1
 		}

@@ -1,0 +1,63 @@
+package workload
+
+import "testing"
+
+// The profile registry contract: All, Names and ByName are backed by
+// one list, so every listed name resolves and every resolvable name is
+// listed (the "Uniform resolves but is not advertised" bug).
+func TestRegistryListedAndResolvableAgree(t *testing.T) {
+	names := Names()
+	all := All()
+	if len(names) != len(all) {
+		t.Fatalf("Names() has %d entries, All() has %d", len(names), len(all))
+	}
+	seen := map[string]bool{}
+	for i, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate profile name %q", name)
+		}
+		seen[name] = true
+		p := ByName(name)
+		if p == nil {
+			t.Fatalf("listed name %q does not resolve", name)
+		}
+		if p.Name != name || all[i].Name != name {
+			t.Fatalf("registry order broken at %d: %q / %q / %q", i, name, p.Name, all[i].Name)
+		}
+	}
+	// And vice versa: the registry holds nothing beyond the listing.
+	for name := range registry {
+		if !seen[name] {
+			t.Fatalf("resolvable name %q missing from Names()", name)
+		}
+	}
+}
+
+func TestRegistryIncludesUniform(t *testing.T) {
+	found := false
+	for _, n := range Names() {
+		if n == "Uniform" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Uniform resolves via ByName but is not listed by Names()/All()")
+	}
+	if ByName("Uniform") == nil {
+		t.Fatal("Uniform does not resolve")
+	}
+}
+
+func TestByNameUnknownAndFreshInstances(t *testing.T) {
+	if ByName("NoSuchApp") != nil {
+		t.Fatal("unknown app resolved")
+	}
+	a, b := ByName("FFT"), ByName("FFT")
+	if a == b {
+		t.Fatal("ByName returned a shared instance")
+	}
+	a.MemRatio = 0.99
+	if ByName("FFT").MemRatio == 0.99 {
+		t.Fatal("mutating a resolved profile leaked into the registry")
+	}
+}
