@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -50,12 +51,16 @@ var benches = []struct {
 	{"SingleCell", benchhot.SingleCell},
 	{"Fig62Sweep", benchhot.Fig62Sweep},
 	{"ServicePath", benchhot.ServicePath},
+	{"CampaignTrial", benchhot.CampaignTrial},
 }
 
-func measure(label string) []Entry {
+func measure(label, filter string) []Entry {
 	now := time.Now().UTC().Format("2006-01-02")
 	var out []Entry
 	for _, bm := range benches {
+		if filter != "" && !strings.Contains(bm.name, filter) {
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "benchhot: running %s...\n", bm.name)
 		r := testing.Benchmark(bm.fn)
 		ns := float64(r.NsPerOp())
@@ -180,13 +185,18 @@ func main() {
 		label      = flag.String("label", "current", "label to record measurements under")
 		out        = flag.String("out", "", "JSON file to merge measurements into")
 		doCheck    = flag.Bool("check", false, "gate against a baseline file")
+		benchArg   = flag.String("bench", "", "measure only benchmarks whose name contains this substring")
 		baseline   = flag.String("baseline", "BENCH_hotpath.json", "baseline file for -check")
 		baseLabel  = flag.String("baseline-label", "post-refactor", "baseline label to gate against")
 		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed ops/sec drop for -check")
 	)
 	flag.Parse()
 
-	fresh := measure(*label)
+	fresh := measure(*label, *benchArg)
+	if len(fresh) == 0 {
+		fmt.Fprintf(os.Stderr, "benchhot: no benchmark matches -bench %q\n", *benchArg)
+		os.Exit(1)
+	}
 
 	// The trajectory is written (emit, below) only after the gate ran:
 	// the best-of-two retry may replace noisy first samples, and the
@@ -224,7 +234,7 @@ func main() {
 			// the WORSE of the two samples: the retry forgives only
 			// throughput noise, never an allocation regression.
 			fmt.Fprintf(os.Stderr, "benchhot: first sample failed (%v); re-measuring once\n", err)
-			second := measure(*label)
+			second := measure(*label, *benchArg)
 			for i := range fresh {
 				worstAllocs := fresh[i].AllocsPerOp
 				if second[i].AllocsPerOp > worstAllocs {

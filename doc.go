@@ -35,7 +35,22 @@
 // identical in-flight Specs, a bounded admission queue, and graceful
 // shutdown.
 //
+// The reliability layer is internal/campaign, the Monte Carlo
+// fault-campaign engine: it runs thousands of deterministic
+// fault-injected trials of one experiment cell (fault placement derived
+// from (campaign key, trial index) by campaign.TrialSeed, the fault
+// analogue of DeriveSeed) across the runner's worker pool, verifies the
+// paper's recovery guarantee on every trial through the fault
+// injector's poison verifier, and aggregates MTTR, availability,
+// rolled-back work and recovery interaction-set sizes into a
+// campaign.Report with confidence intervals — byte-identical across
+// serial, parallel and interrupt-then-resume executions. Per-trial
+// records and reports persist content-addressed through internal/store,
+// so campaigns resume instead of restarting; cmd/campaign is the CLI
+// and POST/GET /v1/campaigns the asynchronous service surface, with
+// progress in /metrics.
+//
 // See README.md for a quickstart, the runner API — including the
 // seed-derivation rule and how to reproduce figures in parallel versus
-// serial — and curl examples for the service endpoints.
+// serial — and curl examples for the service and campaign endpoints.
 package repro

@@ -1,59 +1,72 @@
-// Fault recovery: inject transient faults into a running Rebound
-// machine, watch the distributed rollback protocol collect the recovery
-// interaction set, and verify end to end that no corrupted value
-// survives (the guarantee of §3.2/§3.3.5 and Appendix A).
+// Fault recovery, campaign-style: run a small real Monte Carlo fault
+// campaign — dozens of deterministic trials, each injecting transient
+// faults into a running Rebound machine, letting the distributed
+// rollback protocol collect the recovery interaction set, and verifying
+// end to end that no corrupted value survives (the guarantee of
+// §3.2/§3.3.5 and Appendix A). The campaign aggregates what the paper's
+// recovery evaluation reports: MTTR, availability and rolled-back work,
+// with confidence intervals.
 //
 //	go run ./examples/faultrecovery
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/machine"
-	"repro/internal/workload"
+	"repro/internal/campaign"
+	"repro/internal/harness"
 )
 
 func main() {
-	cfg := machine.DefaultConfig(16)
-	cfg.CkptInterval = 25_000
-	cfg.DetectLatency = 6_000
-
-	prof := workload.ByName("Water-Nsq")
-	scheme := core.NewRebound(core.Options{DelayedWB: true})
-	m := machine.New(cfg, prof, scheme)
-	inj := fault.NewInjector(m, 7)
-
-	// Warm up: let several checkpoints complete so there are safe
-	// recovery points.
-	m.Run(16 * 60_000)
-	fmt.Printf("warmed up: %d checkpoints completed\n", len(m.St.Checkpoints))
-
-	// Inject three transient faults at random cores/times over the next
-	// stretch; each is detected within L cycles.
-	inj.InjectRandom(3, 400_000)
-	m.Run(16 * 120_000)
-	m.RunCycles(10_000_000) // let the last recovery settle
-	m.FinalizeStats()
-
-	fmt.Printf("faults injected: %d, detected: %d\n", inj.Injected, inj.Detected)
-	for i, rb := range m.St.Rollbacks {
-		fmt.Printf("rollback %d: initiated by proc %d, IREC={%v} (%d procs), "+
-			"%d log entries restored, recovery latency %.3f ms\n",
-			i, rb.Initiator, rb.Members, rb.Size, rb.Restored,
-			float64(rb.End-rb.Start)/1e6)
+	spec := campaign.Spec{
+		Base: harness.Spec{
+			App:    "Water-Nsq",
+			Procs:  8,
+			Scheme: "Rebound",
+			Scale:  harness.Quick,
+		},
+		Trials: 24,
+		Faults: 3,
+		Seed:   7,
 	}
-	tainted := make([]int, 0, len(inj.TaintedEver))
-	for id := range inj.TaintedEver {
-		tainted = append(tainted, id)
-	}
-	fmt.Printf("processors that consumed corrupted data: %v\n", tainted)
+	fmt.Printf("campaign: %d trials x %d faults on %s x%d under %s\n",
+		spec.Trials, spec.Faults, spec.Base.App, spec.Base.Procs, spec.Base.Scheme)
 
-	if err := inj.Verify(); err != nil {
-		fmt.Println("VERIFICATION FAILED:", err)
+	eng := campaign.New(harness.NewRunner(0), nil)
+	eng.OnProgress = func(done, total int) {
+		if done == total || done%8 == 0 {
+			fmt.Printf("  %d/%d trials done\n", done, total)
+		}
+	}
+	rep, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		fmt.Println("campaign failed:", err)
 		os.Exit(1)
 	}
-	fmt.Println("verification OK: no poison survived; every tainted processor was rolled back")
+
+	// A few representative trials, then the aggregate.
+	for _, tr := range rep.TrialRecords[:3] {
+		fmt.Printf("trial %d: %d faults -> %d rollbacks (IREC sizes %v), "+
+			"%d log entries restored, tainted procs %v, verified=%v\n",
+			tr.Index, tr.Injected, len(tr.Recoveries), tr.IRECSizes,
+			tr.Restored, tr.Tainted, tr.VerifyOK)
+	}
+	fmt.Printf("faults: %d injected, %d detected, %d rollbacks across %d trials\n",
+		rep.FaultsInjected, rep.FaultsDetected, rep.Rollbacks, rep.Trials)
+	fmt.Printf("recovery latency: mean %.0f cycles (+-%.0f @95%%), p95 %.0f  =>  MTTR %.4f ms at 1 GHz\n",
+		rep.Recovery.Mean, rep.Recovery.CI95, rep.Recovery.P95, rep.MTTRms)
+	fmt.Printf("IREC size: mean %.2f of %d procs, p95 %.0f\n",
+		rep.IREC.Mean, spec.Base.Procs, rep.IREC.P95)
+	fmt.Printf("availability %.6f, wasted work %.4f%%\n",
+		rep.Availability, rep.WastedWorkFrac*100)
+
+	if rep.VerifiedOK != rep.Trials {
+		fmt.Printf("VERIFICATION FAILED on %d/%d trials\n",
+			rep.Trials-rep.VerifiedOK, rep.Trials)
+		os.Exit(1)
+	}
+	fmt.Printf("verification OK on all %d trials: no poison survived; "+
+		"every tainted processor was rolled back\n", rep.Trials)
 }

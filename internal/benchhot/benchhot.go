@@ -16,6 +16,10 @@
 //     runner each iteration — the figure-driver throughput a user sees.
 //   - ServicePath: the reboundd HTTP service answering a POST /v1/runs
 //     that hits the persistent store — the service-path request rate.
+//   - CampaignTrial: one fault-injected Monte Carlo trial (inject,
+//     recover, verify) on a reused arena — the unit of work a fault
+//     campaign multiplies by thousands, so regressions here scale with
+//     trial count exactly as SingleCell regressions scale with sweeps.
 package benchhot
 
 import (
@@ -28,6 +32,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/harness"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -66,6 +72,42 @@ func Fig62Sweep(b *testing.B) {
 		r := harness.NewRunner(0)
 		if _, err := r.Run(context.Background(), specs...); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// CampaignTrialSpec is the campaign CampaignTrial samples trials from:
+// the SingleCell workload cell at a small machine size, two faults per
+// trial over a short window.
+func CampaignTrialSpec() campaign.Spec {
+	return campaign.Spec{
+		Base:   harness.Spec{App: "FFT", Procs: 4, Scheme: "Rebound", Scale: harness.Quick},
+		Trials: campaign.MaxTrials, // index headroom; the bench runs b.N trials
+		Faults: 2,
+		Window: 60_000,
+		Seed:   1,
+	}
+}
+
+// CampaignTrial benchmarks the fault path end to end: each op is one
+// Monte Carlo trial — build on a reused arena, warm up, inject two
+// faults, run the distributed recovery, settle and verify. Steady-state
+// 0 allocs/op is not required here (fault bookkeeping and per-trial
+// records allocate); the regression gate guards ops/sec.
+func CampaignTrial(b *testing.B) {
+	spec := CampaignTrialSpec()
+	arena := new(cache.Arena)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		tr, err := campaign.RunTrial(spec, i, arena)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tr.VerifyOK {
+			b.Fatalf("trial %d failed verification: %s", i, tr.VerifyError)
 		}
 	}
 	b.StopTimer()

@@ -1,0 +1,507 @@
+// Package campaign is the Monte Carlo fault-campaign engine: it runs
+// many deterministic fault-injected trials of one experiment cell and
+// aggregates their recovery behaviour — MTTR, availability, rolled-back
+// work, recovery interaction-set sizes — into a Report with confidence
+// intervals. It turns the §3.2 fault model (exercised elsewhere by a
+// handful of hand-written tests) into a scenario-diversity workhorse:
+// the paper's headline recovery guarantee, measured across thousands of
+// randomly-placed fault scenarios instead of asserted on two.
+//
+// Determinism contract, inherited from the harness runner and extended
+// to faults: a trial is a pure function of (campaign Spec, trial
+// index). The machine stream comes from harness.DeriveSeed(Base) —
+// every trial replays the same program, paired exactly like scheme
+// comparisons — and the fault placement comes from TrialSeed(spec,
+// index), never from scheduling order. Serial, parallel and
+// interrupt-then-resume executions of a campaign therefore produce
+// byte-identical Reports.
+//
+// Persistence: given a store, the engine writes each finished trial and
+// the final report into the namespace campaigns/<key> (content-
+// addressed on the campaign key), so an interrupted campaign resumes
+// from its completed trials instead of restarting, and a finished
+// campaign is served without simulating.
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// Spec describes one campaign: the base experiment cell plus the fault
+// grid — trial count, faults per trial, injection window (together with
+// Faults, the fault rate) and detection-latency bound — and the
+// campaign seed. Equal Specs denote the same campaign: same key, same
+// trials, same Report.
+type Spec struct {
+	// Base is the experiment cell every trial simulates (application,
+	// processor count, scheme, scale, knobs).
+	Base harness.Spec `json:"base"`
+	// Trials is the number of Monte Carlo trials.
+	Trials int `json:"trials"`
+	// Faults is the number of transient faults injected per trial.
+	Faults int `json:"faults"`
+	// Window spreads each trial's faults over this many cycles after
+	// warm-up; 0 selects the injector default (100×L). Faults/Window is
+	// the campaign's fault rate.
+	Window uint64 `json:"window,omitempty"`
+	// DetectLatency bounds each fault's detection latency in cycles;
+	// 0 selects the scale's L. Must not exceed the scale's L (§3.2
+	// requires detection within L for recovery to be safe).
+	DetectLatency uint64 `json:"detect_latency,omitempty"`
+	// Seed is folded into every trial's fault seed via TrialSeed.
+	Seed uint64 `json:"seed"`
+}
+
+// Bounds for Validate, in the spirit of harness.MaxProcs: generous
+// enough for any serious campaign, tight enough that one request cannot
+// ask a service for an absurd amount of work.
+const (
+	MaxTrials = 100_000
+	MaxFaults = 256
+	MaxWindow = uint64(1) << 32
+)
+
+// Validate reports whether the spec describes a runnable campaign: a
+// valid base cell and a fault grid within bounds.
+func (s Spec) Validate() error {
+	if err := s.Base.Validate(); err != nil {
+		return err
+	}
+	if s.Trials < 1 || s.Trials > MaxTrials {
+		return fmt.Errorf("campaign: trials %d out of range [1, %d]", s.Trials, MaxTrials)
+	}
+	if s.Faults < 1 || s.Faults > MaxFaults {
+		return fmt.Errorf("campaign: faults %d out of range [1, %d]", s.Faults, MaxFaults)
+	}
+	if s.Window > MaxWindow {
+		return fmt.Errorf("campaign: window %d out of range [0, %d]", s.Window, MaxWindow)
+	}
+	if s.DetectLatency > uint64(s.Base.Scale.DetectLatency) {
+		return fmt.Errorf("campaign: detect latency %d exceeds the scale's L (%d)",
+			s.DetectLatency, uint64(s.Base.Scale.DetectLatency))
+	}
+	return nil
+}
+
+// Key returns the canonical identity of the campaign: the base cell's
+// canonical key plus every fault-grid field, in a fixed order.
+func (s Spec) Key() string {
+	return fmt.Sprintf("campaign|%s|trials=%d|faults=%d|win=%d|L=%d|seed=%d",
+		s.Base.Key(), s.Trials, s.Faults, s.Window, s.DetectLatency, s.Seed)
+}
+
+// KeyOf returns the content address of a campaign: the hex sha256 of
+// its canonical key. It is the public identifier the service exposes
+// and the store namespace the engine persists under.
+func KeyOf(s Spec) string {
+	sum := sha256.Sum256([]byte(s.Key()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TrialSeed maps (campaign key, trial index) to the trial's fault seed,
+// à la harness.DeriveSeed: an FNV-1a hash of the campaign's canonical
+// key and the index, finished with a splitmix64 round. A pure function
+// of campaign identity — never of which worker runs the trial or in
+// what order — which is what makes parallel campaigns byte-identical to
+// serial ones and lets a resumed campaign re-derive exactly the
+// remaining trials.
+func TrialSeed(s Spec, index int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|trial=%d", s.Key(), index)
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Trial is the outcome of one fault-injected trial.
+type Trial struct {
+	Index int    `json:"index"`
+	Seed  uint64 `json:"seed"`
+	// Injected/Detected count the trial's faults and their detections.
+	Injected int `json:"injected"`
+	Detected int `json:"detected"`
+	// Recoveries lists the per-rollback recovery latencies in cycles
+	// (detection to all processors resumed), in protocol-completion
+	// order; IRECSizes the matching recovery interaction-set sizes.
+	Recoveries []uint64 `json:"recoveries,omitempty"`
+	IRECSizes  []int    `json:"irec_sizes,omitempty"`
+	// Restored counts log entries written back to memory by rollbacks.
+	Restored uint64 `json:"restored"`
+	// WastedCycles approximates the rolled-back work: per rollback, the
+	// largest per-processor rollback distance times the set size
+	// (processor-cycles that must be re-executed).
+	WastedCycles uint64 `json:"wasted_cycles"`
+	// RollStallCycles is the summed per-processor cycles stalled in
+	// rollback/recovery — the unavailability the trial measured.
+	RollStallCycles uint64 `json:"roll_stall_cycles"`
+	// Tainted lists every processor that ever consumed poisoned data,
+	// ascending.
+	Tainted []int `json:"tainted,omitempty"`
+	// EndCycle and Instructions describe the trial's total execution
+	// (re-executed instructions after rollbacks count again).
+	EndCycle     uint64 `json:"end_cycle"`
+	Instructions uint64 `json:"instructions"`
+	// VerifyOK is the poison verifier's verdict: recovery was complete,
+	// no poisoned value survives anywhere, and every tainted processor
+	// was rolled back. VerifyError carries the first violation.
+	VerifyOK    bool   `json:"verify_ok"`
+	VerifyError string `json:"verify_error,omitempty"`
+}
+
+// settleSlice is the granularity at which a trial's settle loop runs
+// the machine while waiting for in-flight recoveries to finish.
+const settleSlice = sim.Cycle(100_000)
+
+// RunTrial executes one trial on the calling goroutine: the base cell
+// simulated with spec.Faults faults placed by TrialSeed(spec, index).
+// It is the uncached primitive underneath the Engine — a pure function
+// of (spec, index), with no shared state between invocations (arena
+// only recycles memory; nil means fresh allocations).
+func RunTrial(spec Spec, index int, arena *cache.Arena) (Trial, error) {
+	m, err := harness.BuildIn(arena, spec.Base)
+	if err != nil {
+		return Trial{}, err
+	}
+	fs := fault.Spec{
+		Faults:           spec.Faults,
+		Window:           sim.Cycle(spec.Window),
+		MaxDetectLatency: sim.Cycle(spec.DetectLatency),
+		Seed:             TrialSeed(spec, index),
+	}
+	inj := fault.New(m, fs)
+
+	// Warm up a quarter of the budget so checkpoints exist before the
+	// first fault can land, launch the trial's fault scenario over the
+	// window, then run the budget out.
+	budget := spec.Base.Scale.InstrPerProc * uint64(spec.Base.Procs)
+	m.Run(budget / 4)
+	inj.Launch()
+	m.Run(budget - budget/4)
+
+	// Settle: faults placed near the end of the window may still be
+	// undetected (or mid-recovery) when the instruction budget runs
+	// out; run bounded extra slices until the injector quiesces. The
+	// bound keeps a scheme that never recovers (e.g. "none") from
+	// spinning forever — Verify then reports the surviving poison.
+	maxSlices := 40 + int((inj.ResolvedWindow()+m.Cfg.DetectLatency)/settleSlice)
+	for i := 0; i < maxSlices && !inj.Quiesced(); i++ {
+		m.RunCycles(settleSlice)
+	}
+	if inj.Quiesced() {
+		// One more slice so background drains and protocol tails finish
+		// before the verifier inspects memory.
+		m.RunCycles(settleSlice)
+	}
+	m.FinalizeStats()
+
+	tr := Trial{
+		Index:        index,
+		Seed:         fs.Seed,
+		Injected:     inj.Injected,
+		Detected:     inj.Detected,
+		Tainted:      inj.TaintedEver.Elems(),
+		EndCycle:     m.St.EndCycle,
+		Instructions: m.St.TotalInstructions(),
+	}
+	for _, rb := range m.St.Rollbacks {
+		tr.Recoveries = append(tr.Recoveries, rb.End-rb.Start)
+		tr.IRECSizes = append(tr.IRECSizes, rb.Size)
+		tr.Restored += rb.Restored
+		tr.WastedCycles += uint64(rb.MaxRollbackCycles) * uint64(rb.Size)
+	}
+	for _, c := range m.St.RollStall {
+		tr.RollStallCycles += c
+	}
+	if err := inj.Verify(); err != nil {
+		tr.VerifyError = err.Error()
+	} else {
+		tr.VerifyOK = true
+	}
+	return tr, nil
+}
+
+// Report aggregates a finished campaign. Marshalled to JSON it is the
+// campaign's canonical artifact: byte-identical across serial, parallel
+// and interrupt-then-resume executions of the same Spec.
+type Report struct {
+	// Key is the campaign's content address (KeyOf(Spec)).
+	Key  string `json:"key"`
+	Spec Spec   `json:"spec"`
+	// Trials is the number of trials aggregated; VerifiedOK how many
+	// passed the poison verifier (the recovery guarantee holds for the
+	// campaign exactly when VerifiedOK == Trials).
+	Trials     int `json:"trials"`
+	VerifiedOK int `json:"verified_ok"`
+	// Campaign-wide totals.
+	FaultsInjected int `json:"faults_injected"`
+	FaultsDetected int `json:"faults_detected"`
+	Rollbacks      int `json:"rollbacks"`
+	// Recovery summarises per-rollback recovery latency in cycles
+	// (detection to all processors resumed, the Fig 6.6c framing);
+	// IREC the recovery interaction-set sizes in processors; Wasted the
+	// per-trial rolled-back work in processor-cycles.
+	Recovery stats.Summary `json:"recovery_cycles"`
+	IREC     stats.Summary `json:"irec_procs"`
+	Wasted   stats.Summary `json:"wasted_cycles"`
+	// MTTRms is the mean recovery latency in milliseconds at the
+	// paper's 1 GHz clock (Recovery.Mean / 1e6).
+	MTTRms float64 `json:"mttr_ms"`
+	// Availability is measured, not modelled: the fraction of
+	// processor-cycles not stalled in rollback/recovery across all
+	// trials. WastedWorkFrac is the fraction of processor-cycles whose
+	// work was rolled back and re-executed.
+	Availability   float64 `json:"availability"`
+	WastedWorkFrac float64 `json:"wasted_work_frac"`
+	// TrialRecords lists every trial, in index order.
+	TrialRecords []Trial `json:"trial_records"`
+}
+
+// buildReport aggregates trials (all non-nil, in index order) into the
+// campaign's Report. Pure function of its inputs: aggregation order is
+// trial order, never completion order.
+func buildReport(spec Spec, trials []Trial) *Report {
+	rep := &Report{
+		Key:          KeyOf(spec),
+		Spec:         spec,
+		Trials:       len(trials),
+		TrialRecords: trials,
+	}
+	var recoveries, irecs, wasted []float64
+	var stall, procCycles, wastedTotal uint64
+	nprocs := uint64(spec.Base.Procs)
+	for _, tr := range trials {
+		if tr.VerifyOK {
+			rep.VerifiedOK++
+		}
+		rep.FaultsInjected += tr.Injected
+		rep.FaultsDetected += tr.Detected
+		rep.Rollbacks += len(tr.Recoveries)
+		for _, r := range tr.Recoveries {
+			recoveries = append(recoveries, float64(r))
+		}
+		for _, s := range tr.IRECSizes {
+			irecs = append(irecs, float64(s))
+		}
+		wasted = append(wasted, float64(tr.WastedCycles))
+		stall += tr.RollStallCycles
+		wastedTotal += tr.WastedCycles
+		procCycles += tr.EndCycle * nprocs
+	}
+	rep.Recovery = stats.Summarize(recoveries)
+	rep.IREC = stats.Summarize(irecs)
+	rep.Wasted = stats.Summarize(wasted)
+	rep.MTTRms = rep.Recovery.Mean / 1e6
+	if procCycles > 0 {
+		rep.Availability = 1 - float64(stall)/float64(procCycles)
+		rep.WastedWorkFrac = float64(wastedTotal) / float64(procCycles)
+	}
+	return rep
+}
+
+// Store-namespace record names.
+const (
+	nsCampaigns = "campaigns"
+	reportName  = "report"
+)
+
+func trialName(i int) string { return fmt.Sprintf("trial-%06d", i) }
+
+// Engine runs campaigns: trials fan out across a harness.Runner's
+// worker pool (sharing its arena pooling), and — when a store is
+// attached — each finished trial and the final report persist under
+// the campaign's content address, so interrupted campaigns resume and
+// finished ones are served from disk.
+type Engine struct {
+	runner *harness.Runner
+	st     *store.Store
+
+	// OnProgress, if set, observes trial completion: done trials out of
+	// total, counting trials restored from the store. It is called from
+	// worker goroutines and must be safe for concurrent use.
+	OnProgress func(done, total int)
+}
+
+// New returns an engine running on runner. st may be nil for an
+// in-memory campaign (no resume, no persistence).
+func New(runner *harness.Runner, st *store.Store) *Engine {
+	return &Engine{runner: runner, st: st}
+}
+
+// namespace returns the campaign's store namespace, or nil without a
+// store.
+func (e *Engine) namespace(key string) (*store.Namespace, error) {
+	if e.st == nil {
+		return nil, nil
+	}
+	return e.st.Namespace(nsCampaigns, key)
+}
+
+// LoadReport returns the stored report for a campaign key, if the
+// engine has a store and the campaign finished. A stored report whose
+// embedded key disagrees with its address is reported as an error,
+// never served.
+func (e *Engine) LoadReport(key string) (*Report, bool, error) {
+	ns, err := e.namespace(key)
+	if ns == nil || err != nil {
+		return nil, false, err
+	}
+	var rep Report
+	ok, err := ns.GetJSON(reportName, &rep)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	if rep.Key != key {
+		return nil, false, fmt.Errorf("campaign: stored report under %s claims key %s", key, rep.Key)
+	}
+	return &rep, true, nil
+}
+
+// Run executes the campaign, fanning trials out across the runner's
+// worker pool. Trials already persisted (a finished or interrupted
+// earlier execution) are restored instead of re-simulated; a campaign
+// whose report is already stored returns it without running anything.
+// A canceled context stops trials that have not started; trials
+// already simulating run to completion and persist, so the next Run
+// resumes from them. The Report is byte-identical to RunSerial's.
+func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
+	return e.run(ctx, spec, false)
+}
+
+// RunSerial executes the campaign's trials one at a time on the calling
+// goroutine, in index order: the reference executor the determinism
+// suite compares Run against.
+func (e *Engine) RunSerial(ctx context.Context, spec Spec) (*Report, error) {
+	return e.run(ctx, spec, true)
+}
+
+func (e *Engine) run(ctx context.Context, spec Spec, serial bool) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	key := KeyOf(spec)
+	ns, err := e.namespace(key)
+	if err != nil {
+		return nil, err
+	}
+	if rep, ok, err := e.LoadReport(key); err != nil {
+		return nil, err
+	} else if ok {
+		e.note(spec.Trials, spec.Trials)
+		return rep, nil
+	}
+
+	// Restore persisted trials (resume). A record is trusted only if it
+	// self-identifies: right index, right derived seed — a store dir
+	// shared across campaign definitions can never leak a stale trial.
+	trials := make([]*Trial, spec.Trials)
+	var done int64
+	if ns != nil {
+		for i := range trials {
+			var tr Trial
+			if ok, err := ns.GetJSON(trialName(i), &tr); err == nil && ok &&
+				tr.Index == i && tr.Seed == TrialSeed(spec, i) {
+				trials[i] = &tr
+				done++
+			}
+		}
+	}
+	if done > 0 {
+		e.note(int(done), spec.Trials)
+	}
+
+	missing := make([]int, 0, spec.Trials)
+	for i, tr := range trials {
+		if tr == nil {
+			missing = append(missing, i)
+		}
+	}
+	runOne := func(i int) (err error) {
+		// Contain simulator panics the way Runner.RunOne does (a config
+		// that passes Validate but panics in the machine): a campaign
+		// runs trials on background goroutines inside reboundd, where an
+		// unrecovered panic would take down the whole daemon instead of
+		// failing the job.
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("campaign: trial %d: panic: %v", i, p)
+			}
+		}()
+		var tr Trial
+		e.runner.WithArena(func(a *cache.Arena) { tr, err = RunTrial(spec, i, a) })
+		if err != nil {
+			return err
+		}
+		if ns != nil {
+			if err := ns.PutJSON(trialName(i), &tr); err != nil {
+				return err
+			}
+		}
+		trials[i] = &tr
+		e.note(int(atomic.AddInt64(&done, 1)), spec.Trials)
+		return nil
+	}
+
+	errs := make([]error, len(missing))
+	if serial {
+		for j, i := range missing {
+			if err := ctx.Err(); err != nil {
+				break
+			}
+			errs[j] = runOne(i)
+		}
+	} else {
+		e.runner.FanOut(ctx, len(missing), func(j int) { errs[j] = runOne(missing[j]) })
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, tr := range trials {
+		if tr == nil {
+			// Cancelled between the feed check and here.
+			return nil, context.Canceled
+		}
+	}
+
+	ordered := make([]Trial, spec.Trials)
+	for i, tr := range trials {
+		ordered[i] = *tr
+	}
+	rep := buildReport(spec, ordered)
+	if ns != nil {
+		if err := ns.PutJSON(reportName, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+func (e *Engine) note(done, total int) {
+	if e.OnProgress != nil {
+		e.OnProgress(done, total)
+	}
+}

@@ -90,6 +90,14 @@ type pstate struct {
 	// ioResume is the pending output-I/O continuation: I/O proceeds
 	// once a checkpoint covering this processor completes (§6.4).
 	ioResume func()
+	// redetect marks a fault detection that arrived while this
+	// processor was already inside a rollback. The in-flight restore
+	// covers a fault that predates it, but a fault injected after the
+	// member's state was restored (the processor is still held paused
+	// by the protocol) would be silently absorbed — so the detection is
+	// re-evaluated when the rollback releases the processor (see
+	// startRollback and rollOp.execute).
+	redetect bool
 }
 
 func (r *Rebound) setBusy(ps *pstate, b bool) {

@@ -18,6 +18,10 @@ type Global struct {
 	active    bool
 	rolling   bool
 	aborted   bool
+	// redetect marks a fault detection that arrived mid-rollback; it is
+	// re-evaluated when the rollback completes (a fault injected after
+	// the restore survives it and needs a rollback of its own).
+	redetect  bool
 	pendingIO []func()
 }
 
@@ -193,6 +197,7 @@ func (g *Global) finish(recIdx int, lines uint64) {
 // every processor in the system.
 func (g *Global) FaultDetected(p *machine.Proc) {
 	if g.rolling {
+		g.redetect = true
 		return
 	}
 	g.rolling = true
@@ -229,6 +234,15 @@ func (g *Global) FaultDetected(p *machine.Proc) {
 				g.pendingIO = nil // stale after rollback
 				g.rolling = false
 				g.active = false
+				if g.redetect {
+					g.redetect = false
+					for _, z := range m.Procs {
+						if z.Faulty() || z.Tainted() {
+							g.FaultDetected(z)
+							break
+						}
+					}
+				}
 			})
 		})
 	}

@@ -37,7 +37,12 @@ func (op *rollOp) orderedMembers() []int {
 
 func (r *Rebound) startRollback(ps *pstate) {
 	if ps.rop != nil {
-		return // already rolling back
+		// Already inside a rollback. Whether its restore covers this
+		// detection depends on when the fault landed relative to the
+		// restore, so defer the decision: when the rollback releases
+		// the processor, surviving fault state triggers a fresh one.
+		ps.redetect = true
+		return
 	}
 	// A fault detected while checkpointing aborts the checkpoint
 	// (§3.3.4).
@@ -80,6 +85,40 @@ func (op *rollOp) expand(q int) {
 	})
 }
 
+// reExpand re-contacts consumers of member q that are not members yet
+// and currently record a live dependence on q — including processors
+// that were contacted before and declined: a decline only certifies the
+// dependence was dead at decline time, and the processor may have
+// consumed q's (poisoned) data since. The listsProducer pre-check is
+// the same predicate onRoll accepts on, so a re-contact either joins
+// the set or hit a transient state change; skipped processors generate
+// no further round, which is what terminates the fixpoint.
+func (op *rollOp) reExpand(q int, round map[int]bool) {
+	r := op.r
+	p := r.m.Procs[q]
+	target := p.LatestSafeCkpt()
+	p.Deps().ConsumersFrom(target.OpenedEpoch).ForEach(func(c int) {
+		if op.members[c] || round[c] || !r.listsProducer(c, q) {
+			return
+		}
+		round[c] = true
+		op.contacted[c] = true
+		op.pending++
+		r.m.Send(q, c, func() { r.onRoll(op, c, q) })
+	})
+}
+
+// listsProducer reports whether c currently records q as a producer in
+// some live interval: the accept predicate of onRoll.
+func (r *Rebound) listsProducer(c, q int) bool {
+	for _, s := range r.ps[c].p.Deps().Live() {
+		if s.MyProducers.Test(q) {
+			return true
+		}
+	}
+	return false
+}
+
 // onRoll handles a Roll? request at processor c, sent by producer q.
 func (r *Rebound) onRoll(op *rollOp, c, q int) {
 	cs := r.ps[c]
@@ -96,14 +135,7 @@ func (r *Rebound) onRoll(op *rollOp, c, q int) {
 	}
 	// Decline if c no longer shows q as a producer in any live interval
 	// (it rolled back independently and cleared its MyProducers).
-	producer := false
-	for _, s := range cs.p.Deps().Live() {
-		if s.MyProducers.Test(q) {
-			producer = true
-			break
-		}
-	}
-	if !producer {
+	if !r.listsProducer(c, q) {
 		reply(func() { op.onReply(false) })
 		return
 	}
@@ -160,8 +192,30 @@ func (op *rollOp) maybeExecute() {
 			r.setBusy(ps, false)
 			ps.p.Resume()
 			r.releaseHook(ps)
+			// No restore happened, so an absorbed detection's fault
+			// state is certainly intact; retry it like the initiator's.
+			if ps.redetect {
+				ps.redetect = false
+				r.m.After(r.backoff(), func() { r.startRollback(ps) })
+			}
 		}
 		r.m.After(r.backoff(), func() { r.startRollback(r.ps[init]) })
+		return
+	}
+	// Poison keeps propagating while the set is collected: a processor
+	// that consumes a member's data after that member's MyConsumers were
+	// read would escape the restore (and a fault detected at a member
+	// mid-rollback is deliberately absorbed by this rollback, so nothing
+	// else would catch the escapee). Re-expand from every member until
+	// no live consumer outside the set remains; the final no-change
+	// check and the restore then happen within one event, leaving no
+	// window to escape through.
+	round := make(map[int]bool)
+	for _, id := range op.orderedMembers() {
+		op.reExpand(id, round)
+	}
+	if op.pending > 0 {
+		op.collecting = true
 		return
 	}
 	op.execute()
@@ -206,6 +260,19 @@ func (op *rollOp) execute() {
 			// processor re-executes the I/O op from its snapshot.
 			ps.ioResume = nil
 			ps.p.Resume()
+		}
+		// Re-evaluate detections absorbed during this rollback: a fault
+		// injected after a member's restore (while the protocol held it
+		// paused) survives the restore and needs a rollback of its own.
+		for _, id := range op.orderedMembers() {
+			ps := r.ps[id]
+			if !ps.redetect {
+				continue
+			}
+			ps.redetect = false
+			if ps.p.Faulty() || ps.p.Tainted() {
+				r.startRollback(ps)
+			}
 		}
 	})
 }

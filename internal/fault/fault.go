@@ -10,31 +10,61 @@ package fault
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
 
-// Injector schedules faults on a machine.
-type Injector struct {
-	m   *machine.Machine
-	rng *sim.RNG
-
-	// Injected counts faults injected; Detected counts detections
-	// delivered to the scheme.
-	Injected, Detected int
-
-	// TaintedEver records every processor that ever consumed poisoned
-	// data (across the whole run), for IREC coverage checks.
-	TaintedEver map[int]bool
+// Spec is a complete, self-contained description of one fault scenario:
+// how many transient faults to inject, over which window, with what
+// detection-latency bound, drawn from which seed. It is what makes
+// Injector construction data-driven — the campaign engine derives one
+// Spec per trial instead of hand-wiring injector calls, and two
+// injectors built from equal Specs on identical machines schedule
+// identical faults.
+type Spec struct {
+	// Faults is the number of transient faults Launch schedules.
+	Faults int `json:"faults"`
+	// Window spreads the faults uniformly over (now, now+Window] cycles
+	// at Launch time; together with Faults it sets the fault rate.
+	// 0 selects 100×L (a handful of checkpoint intervals).
+	Window sim.Cycle `json:"window,omitempty"`
+	// MaxDetectLatency bounds each fault's detection latency, drawn
+	// uniformly from (0, MaxDetectLatency]. 0 selects the machine's
+	// configured L; values above L are clamped to L (the safety
+	// argument of §3.2 requires detection within L).
+	MaxDetectLatency sim.Cycle `json:"max_detect_latency,omitempty"`
+	// Seed drives fault placement (times, cores, latencies).
+	Seed uint64 `json:"seed"`
 }
 
-// NewInjector wires an injector to m. It hooks the machine's taint
-// observer (chaining any existing one).
-func NewInjector(m *machine.Machine, seed uint64) *Injector {
-	inj := &Injector{m: m, rng: sim.NewRNG(seed ^ 0xfa017), TaintedEver: map[int]bool{}}
+// Injector schedules faults on a machine.
+type Injector struct {
+	m    *machine.Machine
+	rng  *sim.RNG
+	spec Spec
+
+	// Scheduled counts faults scheduled (InjectAt calls); Injected
+	// counts those whose injection event has fired; Detected counts
+	// detections delivered to the scheme.
+	Scheduled, Injected, Detected int
+
+	// TaintedEver records every processor that ever consumed poisoned
+	// data (across the whole run), for IREC coverage checks. A bitset
+	// rather than a map: no per-taint allocation, and deterministic
+	// ascending iteration for report serialization.
+	TaintedEver *bitset.Bitset
+}
+
+// New wires an injector configured by fs to m. It hooks the machine's
+// taint observer (chaining any existing one); call Launch to schedule
+// the spec's faults.
+func New(m *machine.Machine, fs Spec) *Injector {
+	inj := &Injector{m: m, rng: sim.NewRNG(fs.Seed ^ 0xfa017), spec: fs,
+		TaintedEver: bitset.New(m.Cfg.NProcs)}
 	prev := m.OnTaint
 	m.OnTaint = func(p *machine.Proc) {
-		inj.TaintedEver[p.ID()] = true
+		inj.TaintedEver.Set(p.ID())
 		if prev != nil {
 			prev(p)
 		}
@@ -42,11 +72,44 @@ func NewInjector(m *machine.Machine, seed uint64) *Injector {
 	return inj
 }
 
+// NewInjector wires an injector to m with only a seed configured; faults
+// are then scheduled by hand through InjectAt/InjectRandom (the original
+// hand-written-test surface).
+func NewInjector(m *machine.Machine, seed uint64) *Injector {
+	return New(m, Spec{Seed: seed})
+}
+
+// Spec returns the scenario the injector was built from.
+func (inj *Injector) Spec() Spec { return inj.spec }
+
+// ResolvedWindow returns the injection window Launch uses: Spec.Window,
+// or the documented 100×L default. Exposed so callers sizing settle
+// loops around a Launch (the campaign engine) share one definition.
+func (inj *Injector) ResolvedWindow() sim.Cycle {
+	if inj.spec.Window != 0 {
+		return inj.spec.Window
+	}
+	return 100 * inj.m.Cfg.DetectLatency
+}
+
+// Launch schedules the spec's fault scenario relative to the current
+// cycle: Faults faults at random cores and random times in
+// (now, now+Window], each detected after a random latency in
+// (0, MaxDetectLatency] (defaults resolved as documented on Spec).
+func (inj *Injector) Launch() {
+	maxL := inj.spec.MaxDetectLatency
+	if maxL == 0 || maxL > inj.m.Cfg.DetectLatency {
+		maxL = inj.m.Cfg.DetectLatency
+	}
+	inj.injectRandom(inj.spec.Faults, inj.ResolvedWindow(), maxL)
+}
+
 // InjectAt schedules a fault on core at the given absolute cycle, with
 // detection after detectLatency more cycles (must be <= the machine's
 // configured L for the safety argument to hold).
 func (inj *Injector) InjectAt(at sim.Cycle, core int, detectLatency sim.Cycle) {
 	m := inj.m
+	inj.Scheduled++
 	m.Eng.At(at, func() {
 		p := m.Procs[core]
 		p.InjectFault()
@@ -61,13 +124,34 @@ func (inj *Injector) InjectAt(at sim.Cycle, core int, detectLatency sim.Cycle) {
 // InjectRandom schedules n faults at random cores and random times in
 // (now, now+window], each detected after a random latency in (0, L].
 func (inj *Injector) InjectRandom(n int, window sim.Cycle) {
-	L := inj.m.Cfg.DetectLatency
+	inj.injectRandom(n, window, inj.m.Cfg.DetectLatency)
+}
+
+func (inj *Injector) injectRandom(n int, window, maxLat sim.Cycle) {
 	for i := 0; i < n; i++ {
 		at := inj.m.Now() + 1 + sim.Cycle(inj.rng.Intn(int(window)))
 		core := inj.rng.Intn(inj.m.Cfg.NProcs)
-		lat := 1 + sim.Cycle(inj.rng.Intn(int(L)))
+		lat := 1 + sim.Cycle(inj.rng.Intn(int(maxLat)))
 		inj.InjectAt(at, core, lat)
 	}
+}
+
+// Quiesced reports whether every scheduled fault has run its course:
+// all injections fired (a fault scheduled beyond the end of a run is
+// still pending, not absent), all detections delivered, and no core
+// still faulty or tainted (both are cleared only by a rollback
+// restore). The campaign engine polls it between settle slices to
+// decide when a trial may be verified.
+func (inj *Injector) Quiesced() bool {
+	if inj.Injected != inj.Scheduled || inj.Detected != inj.Scheduled {
+		return false
+	}
+	for _, p := range inj.m.Procs {
+		if p.Faulty() || p.Tainted() {
+			return false
+		}
+	}
+	return true
 }
 
 // Verify checks that recovery was complete: no core is faulty or
@@ -87,21 +171,22 @@ func (inj *Injector) Verify() error {
 	if a, any := m.Ctrl.Memory().AnyPoison(); any {
 		return fmt.Errorf("fault: poisoned line %#x survives in memory", a)
 	}
-	rolled := map[int]bool{}
+	rolled := bitset.New(m.Cfg.NProcs)
 	for _, rb := range m.St.Rollbacks {
 		for _, id := range rb.Members {
-			rolled[id] = true
+			rolled.Set(id)
 		}
 		if rb.Size == m.Cfg.NProcs {
 			for i := 0; i < m.Cfg.NProcs; i++ {
-				rolled[i] = true
+				rolled.Set(i)
 			}
 		}
 	}
-	for id := range inj.TaintedEver {
-		if !rolled[id] {
-			return fmt.Errorf("fault: tainted core %d never rolled back", id)
+	var err error
+	inj.TaintedEver.ForEach(func(id int) {
+		if err == nil && !rolled.Test(id) {
+			err = fmt.Errorf("fault: tainted core %d never rolled back", id)
 		}
-	}
-	return nil
+	})
+	return err
 }

@@ -109,6 +109,18 @@ func SchemeNames() []string {
 // runs).
 func AppNames() []string { return workload.Names() }
 
+// DefaultProcs resolves the default processor count for app at sc the
+// way the paper sizes its machines: SPLASH-2 runs on the large machine,
+// PARSEC/Apache on the small one. It is the shared request-defaulting
+// rule of the service API and the campaign CLI, so the same unspecified
+// request can never resolve to different cells on different surfaces.
+func DefaultProcs(sc Scale, app string) int {
+	if p := workload.ByName(app); p != nil && p.Suite == "splash2" {
+		return sc.ProcsLarge
+	}
+	return sc.ProcsSmall
+}
+
 // MaxProcs bounds Spec.Procs: large enough for any paper configuration
 // (the full scale tops out at 64), small enough that a single request
 // cannot ask a service for an absurd machine. MaxWSIGBits and

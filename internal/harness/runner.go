@@ -108,14 +108,37 @@ func NewRunner(workers int) *Runner {
 	return r
 }
 
-// runPooled executes spec on a pooled arena. The arena is recycled only
-// on the non-panic path; a panicking cell abandons it to the GC.
-func (r *Runner) runPooled(spec Spec) (Result, error) {
+// runPooled executes spec on a pooled arena.
+func (r *Runner) runPooled(spec Spec) (res Result, err error) {
+	r.WithArena(func(a *cache.Arena) { res, err = runSpec(spec, a) })
+	return res, err
+}
+
+// WithArena runs fn with a pooled, reset cache arena: the same
+// allocation-recycling the runner's own cells use, exposed so other
+// fan-outs over machine builds (the campaign engine's fault trials)
+// share one arena pool instead of allocating cache arrays per run.
+// The arena is recycled only on the non-panic path; a panicking fn
+// abandons it to the GC. fn must not retain the arena (or anything
+// built in it) past its return.
+func (r *Runner) WithArena(fn func(*cache.Arena)) {
 	a := r.arenas.Get().(*cache.Arena)
 	a.Reset()
-	res, err := runSpec(spec, a)
+	fn(a)
 	r.arenas.Put(a)
-	return res, err
+}
+
+// FanOut feeds indices [0, n) to the runner's worker pool, blocking
+// until every handed-out index has been processed. A canceled context
+// stops feeding and returns ctx.Err(); indices already handed out run
+// to completion, indices never fed are simply skipped. It is the
+// exported form of the scheduling underneath Run/PrefetchRecovery, for
+// callers (the campaign engine) whose units of work are not Spec cells.
+func (r *Runner) FanOut(ctx context.Context, n int, fn func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return r.fanOut(ctx, n, fn)
 }
 
 // Workers reports the pool size.

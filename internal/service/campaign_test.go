@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/store"
+)
+
+func newCampaignTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Runner: harness.NewRunner(0), Store: st, Scale: harness.Quick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postCampaign(t *testing.T, ts *httptest.Server, body string) (CampaignResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var cr CampaignResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(data, &cr); err != nil {
+			t.Fatalf("decoding %s: %v", data, err)
+		}
+	}
+	return cr, resp.StatusCode
+}
+
+func TestCampaignEndToEnd(t *testing.T) {
+	ts := newCampaignTestServer(t)
+	const body = `{"app":"FFT","procs":4,"scheme":"Rebound","trials":3,"faults":2,"window":60000,"seed":5}`
+
+	first, code := postCampaign(t, ts, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("POST status %d", code)
+	}
+	if first.Key == "" {
+		t.Fatal("campaign response has no key")
+	}
+
+	// Poll to completion.
+	var final CampaignResponse
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + first.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET status %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &final); err != nil {
+			t.Fatalf("decoding %s: %v", data, err)
+		}
+		if final.Status == "done" {
+			break
+		}
+		if final.Status == "failed" {
+			t.Fatalf("campaign failed: %s", final.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign did not finish: %+v", final)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	rep := final.Report
+	if rep == nil {
+		t.Fatal("done campaign carries no report")
+	}
+	if rep.Trials != 3 || rep.VerifiedOK != 3 {
+		t.Fatalf("verified %d/%d trials", rep.VerifiedOK, rep.Trials)
+	}
+	if rep.FaultsInjected != 6 {
+		t.Fatalf("faults injected = %d, want 6", rep.FaultsInjected)
+	}
+	for _, tr := range rep.TrialRecords {
+		if !tr.VerifyOK {
+			t.Fatalf("trial %d failed verification: %s", tr.Index, tr.VerifyError)
+		}
+	}
+
+	// A second POST of the same campaign must be served from the store.
+	again, code := postCampaign(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("second POST status %d", code)
+	}
+	if again.Status != "done" || !again.Cached || again.Report == nil {
+		t.Fatalf("second POST not served from store: %+v", again)
+	}
+	aj, _ := json.Marshal(again.Report)
+	fj, _ := json.Marshal(rep)
+	if string(aj) != string(fj) {
+		t.Fatal("stored report differs from the first execution's")
+	}
+
+	// Campaign progress is visible in /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m map[string]any
+	if err := json.Unmarshal(metrics, &m); err != nil {
+		t.Fatalf("metrics not JSON: %s", metrics)
+	}
+	for _, k := range []string{"campaigns_total", "campaigns_running", "campaign_trials_done"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("metrics missing %q: %s", k, metrics)
+		}
+	}
+	if m["campaigns_total"].(float64) < 1 || m["campaign_trials_done"].(float64) < 3 {
+		t.Fatalf("campaign metrics did not advance: %s", metrics)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	ts := newCampaignTestServer(t)
+	for _, body := range []string{
+		`{"app":"FFT","procs":4,"scheme":"Rebound"}`,                                 // no trials
+		`{"app":"NoSuchApp","procs":4,"scheme":"Rebound","trials":2}`,                // bad app
+		`{"app":"FFT","procs":4,"scheme":"Rebound","trials":2,"faults":100000}`,      // fault bound
+		`{"app":"FFT","procs":4,"scheme":"Rebound","trials":2,"detect_latency":1e9}`, // > L
+	} {
+		_, code := postCampaign(t, ts, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %s: status %d, want 400", body, code)
+		}
+	}
+	// Unknown key is a 404.
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown key: status %d, want 404", resp.StatusCode)
+	}
+}

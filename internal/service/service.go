@@ -7,11 +7,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/runs          one Spec; returns the full result record
-//	GET  /v1/runs/{key}    fetch a stored record by content address
-//	POST /v1/sweeps        a named figure (e.g. "fig6.2") or Spec list
-//	GET  /healthz          liveness
-//	GET  /metrics          expvar counters (cache, queue, in-flight)
+//	POST /v1/runs             one Spec; returns the full result record
+//	GET  /v1/runs/{key}       fetch a stored record by content address
+//	POST /v1/sweeps           a named figure (e.g. "fig6.2") or Spec list
+//	POST /v1/campaigns        start/resume a fault campaign (async)
+//	GET  /v1/campaigns/{key}  campaign progress, or the finished Report
+//	GET  /healthz             liveness
+//	GET  /metrics             expvar counters (cache, queue, in-flight,
+//	                          campaign progress)
 //
 // Request validation goes through harness.Spec.Validate, identical
 // in-flight Specs are deduplicated (singleflight: the second request
@@ -30,9 +33,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/harness"
 	"repro/internal/store"
-	"repro/internal/workload"
 )
 
 // Config wires a Server. Runner and Store are required.
@@ -67,6 +70,12 @@ type Server struct {
 	mu     sync.Mutex
 	flight map[string]*call
 
+	// Campaign state (campaign.go): running/failed background jobs by
+	// campaign key, and the engine used to load stored reports.
+	campMu    sync.Mutex
+	campaigns map[string]*campaignJob
+	loader    *campaign.Engine
+
 	// Metrics, reported by /metrics. expvar types for atomicity; they
 	// are deliberately not Publish()ed to the process-global expvar map
 	// so multiple Servers (tests) can coexist.
@@ -78,6 +87,10 @@ type Server struct {
 	runsTotal   expvar.Int
 	sweepsTotal expvar.Int
 	storeErrors expvar.Int // corrupt/unreadable records healed by re-run
+
+	campaignsTotal     expvar.Int // background campaigns started
+	campaignsRunning   expvar.Int // background campaigns in flight
+	campaignTrialsDone expvar.Int // trials completed (or restored) across campaigns
 }
 
 // call is one in-flight simulation; requests for the same Spec share it.
@@ -104,17 +117,21 @@ func New(cfg Config) (*Server, error) {
 		cfg.QueueDepth = 64
 	}
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		slots:    make(chan struct{}, cfg.MaxConcurrent),
-		waitq:    make(chan struct{}, cfg.QueueDepth),
-		sweepSem: make(chan struct{}, 1),
-		start:    time.Now(),
-		flight:   make(map[string]*call),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		slots:     make(chan struct{}, cfg.MaxConcurrent),
+		waitq:     make(chan struct{}, cfg.QueueDepth),
+		sweepSem:  make(chan struct{}, 1),
+		start:     time.Now(),
+		flight:    make(map[string]*call),
+		campaigns: make(map[string]*campaignJob),
+		loader:    campaign.New(cfg.Runner, cfg.Store),
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleGetRun)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignPost)
+	s.mux.HandleFunc("GET /v1/campaigns/{key}", s.handleCampaignGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -150,10 +167,7 @@ func (rr RunRequest) Spec(def harness.Scale) (harness.Spec, error) {
 	}
 	procs := rr.Procs
 	if procs == 0 {
-		procs = sc.ProcsSmall
-		if p := workload.ByName(rr.App); p != nil && p.Suite == "splash2" {
-			procs = sc.ProcsLarge
-		}
+		procs = harness.DefaultProcs(sc, rr.App)
 	}
 	spec := harness.Spec{
 		App: rr.App, Procs: procs, Scheme: rr.Scheme, Scale: sc,
@@ -555,10 +569,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, `{"cache_hits": %s, "cache_misses": %s, "dedups": %s, `+
 		`"in_flight": %s, "queue_waiting": %s, "queue_capacity": %d, `+
 		`"max_concurrent": %d, "runs_total": %s, "sweeps_total": %s, `+
+		`"campaigns_total": %s, "campaigns_running": %s, "campaign_trials_done": %s, `+
 		`"store_errors": %s, "store_records": %d, "runner_cached_cells": %d}`+"\n",
 		s.cacheHits.String(), s.cacheMisses.String(), s.dedups.String(),
 		s.inFlight.String(), s.queued.String(), s.cfg.QueueDepth,
 		s.cfg.MaxConcurrent, s.runsTotal.String(), s.sweepsTotal.String(),
+		s.campaignsTotal.String(), s.campaignsRunning.String(), s.campaignTrialsDone.String(),
 		s.storeErrors.String(), s.cfg.Store.Len(), s.cfg.Runner.CachedRuns())
 }
 

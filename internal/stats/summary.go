@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary is the descriptive summary of one campaign metric across
+// samples: mean, spread, tail quantiles, and the 95% confidence
+// interval of the mean. It is computed by Summarize with a fixed
+// order of floating-point operations, so equal sample slices produce
+// bit-identical Summaries — the campaign determinism contract extends
+// through aggregation.
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	// Std is the sample standard deviation (n-1 denominator; 0 for
+	// fewer than two samples).
+	Std float64 `json:"std"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	// CI95 is the half-width of the 95% confidence interval of the
+	// mean under the normal approximation: 1.96·Std/√N.
+	CI95 float64 `json:"ci95"`
+}
+
+// Summarize computes the Summary of xs. The input is not modified; an
+// empty input yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(n)
+
+	var sq float64
+	for _, v := range sorted {
+		d := v - mean
+		sq += d * d
+	}
+	std := 0.0
+	if n > 1 {
+		std = math.Sqrt(sq / float64(n-1))
+	}
+
+	return Summary{
+		N:    n,
+		Mean: mean,
+		Std:  std,
+		Min:  sorted[0],
+		Max:  sorted[n-1],
+		P50:  quantile(sorted, 0.50),
+		P95:  quantile(sorted, 0.95),
+		CI95: 1.96 * std / math.Sqrt(float64(n)),
+	}
+}
+
+// quantile returns the q-quantile of an ascending-sorted non-empty
+// slice, with linear interpolation between closest ranks.
+func quantile(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

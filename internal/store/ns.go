@@ -1,0 +1,142 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Namespace is a directory of atomically-written JSON records under a
+// Store, for subsystems whose records are not harness Results — the
+// campaign engine persists per-trial records and running aggregates
+// through one namespace per campaign key. Records share the store's
+// durability discipline (temp file + rename, so a killed process never
+// leaves a half-written record) but not its LRU or snapshot
+// verification: a namespace record's self-consistency is the caller's
+// contract (campaign records embed their trial seed and index).
+//
+// Content addressing is the caller's: the namespace path segments
+// typically embed a content key (e.g. "campaigns", sha256-of-spec).
+type Namespace struct {
+	dir string
+}
+
+// Namespace returns the namespace rooted at dir/<parts...>. The
+// directory is created lazily by the first PutJSON, so probing a
+// namespace that was never written (a GET for an unknown campaign)
+// leaves no trace on disk. Each part must be a plain path segment.
+func (s *Store) Namespace(parts ...string) (*Namespace, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("store: namespace needs at least one path segment")
+	}
+	for _, p := range parts {
+		if err := validSegment(p); err != nil {
+			return nil, err
+		}
+	}
+	return &Namespace{dir: filepath.Join(append([]string{s.dir}, parts...)...)}, nil
+}
+
+// Dir returns the namespace's directory.
+func (n *Namespace) Dir() string { return n.dir }
+
+// validSegment rejects path segments that would escape the namespace
+// directory or collide with the atomic-write temp files.
+func validSegment(name string) error {
+	if name == "" || strings.HasPrefix(name, ".") ||
+		strings.ContainsAny(name, `/\`) || name != filepath.Base(name) {
+		return fmt.Errorf("store: invalid namespace segment %q", name)
+	}
+	return nil
+}
+
+func (n *Namespace) path(name string) string {
+	return filepath.Join(n.dir, name+".json")
+}
+
+// PutJSON atomically writes v as the record <name>.json, creating the
+// namespace directory on first use. Putting an existing name overwrites
+// it via rename, so concurrent readers always see a fully-written file.
+func (n *Namespace) PutJSON(name string, v any) error {
+	if err := validSegment(name); err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.MkdirAll(n.dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(n.dir, "."+name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), n.path(name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// GetJSON decodes the record stored under name into v. ok is false when
+// no such record exists; a record that exists but fails to decode is
+// returned as an error.
+func (n *Namespace) GetJSON(name string, v any) (ok bool, err error) {
+	if err := validSegment(name); err != nil {
+		return false, err
+	}
+	data, err := os.ReadFile(n.path(name))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("store: namespace record %s: %w", name, err)
+	}
+	return true, nil
+}
+
+// Names lists the record names present in the namespace (without the
+// .json suffix), sorted. A namespace never written lists empty.
+// Leftover atomic-write temp files (a Put interrupted by a kill) are
+// swept here, mirroring Open's top-level sweep.
+func (n *Namespace) Names() ([]string, error) {
+	entries, err := os.ReadDir(n.dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp") {
+			os.Remove(filepath.Join(n.dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, ".json") {
+			out = append(out, strings.TrimSuffix(name, ".json"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNamespaceRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := s.Namespace("campaigns", "deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A probed-but-never-written namespace leaves no directory behind.
+	if _, err := os.Stat(ns.Dir()); !os.IsNotExist(err) {
+		t.Fatalf("namespace dir exists before any Put: %v", err)
+	}
+	var out map[string]int
+	if ok, err := ns.GetJSON("trial-000001", &out); ok || err != nil {
+		t.Fatalf("GetJSON on empty namespace: ok=%v err=%v", ok, err)
+	}
+	if names, err := ns.Names(); err != nil || len(names) != 0 {
+		t.Fatalf("Names on empty namespace: %v %v", names, err)
+	}
+
+	in := map[string]int{"a": 1, "b": 2}
+	if err := ns.PutJSON("trial-000001", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.PutJSON("report", map[string]int{"n": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := ns.GetJSON("trial-000001", &out); !ok || err != nil {
+		t.Fatalf("GetJSON: ok=%v err=%v", ok, err)
+	}
+	if out["a"] != 1 || out["b"] != 2 {
+		t.Fatalf("round trip lost data: %v", out)
+	}
+	names, err := ns.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "report" || names[1] != "trial-000001" {
+		t.Fatalf("Names = %v, want sorted [report trial-000001]", names)
+	}
+
+	// Namespace records must not pollute the result-record index.
+	if s.Len() != 0 {
+		t.Fatalf("store indexed %d namespace records as results", s.Len())
+	}
+}
+
+func TestNamespaceRejectsEscapingSegments(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range [][]string{
+		{}, {""}, {".."}, {".hidden"}, {"a/b"}, {`a\b`}, {"campaigns", "../../etc"},
+	} {
+		if _, err := s.Namespace(parts...); err == nil {
+			t.Errorf("Namespace(%q) accepted", parts)
+		}
+	}
+	ns, err := s.Namespace("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.PutJSON("../escape", 1); err == nil {
+		t.Error("PutJSON accepted an escaping name")
+	}
+	var v int
+	if _, err := ns.GetJSON(".hidden", &v); err == nil {
+		t.Error("GetJSON accepted a dot name")
+	}
+}
+
+func TestNamespaceSweepsStaleTempFiles(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := s.Namespace("campaigns", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.PutJSON("report", 1); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(ns.Dir(), ".report.tmp12345")
+	if err := os.WriteFile(stale, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ns.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "report" {
+		t.Fatalf("Names = %v", names)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived the sweep")
+	}
+}
