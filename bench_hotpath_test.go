@@ -13,7 +13,8 @@ import (
 	"repro/internal/benchhot"
 )
 
-func BenchmarkHotSingleCell(b *testing.B)    { benchhot.SingleCell(b) }
-func BenchmarkHotFig62Sweep(b *testing.B)    { benchhot.Fig62Sweep(b) }
-func BenchmarkHotServicePath(b *testing.B)   { benchhot.ServicePath(b) }
-func BenchmarkHotCampaignTrial(b *testing.B) { benchhot.CampaignTrial(b) }
+func BenchmarkHotSingleCell(b *testing.B)            { benchhot.SingleCell(b) }
+func BenchmarkHotFig62Sweep(b *testing.B)            { benchhot.Fig62Sweep(b) }
+func BenchmarkHotServicePath(b *testing.B)           { benchhot.ServicePath(b) }
+func BenchmarkHotCampaignTrial(b *testing.B)         { benchhot.CampaignTrial(b) }
+func BenchmarkHotCampaignTrialParallel(b *testing.B) { benchhot.CampaignTrialParallel(b) }

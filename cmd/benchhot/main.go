@@ -8,10 +8,11 @@
 //
 // Gate a change against the committed trajectory (CI): re-measure and
 // fail when any benchmark's ops/sec drops more than -max-regress below
-// the baseline entry of the given label:
+// the BEST prior entry for its (name, gomaxprocs), across all labels —
+// the trajectory is a ratchet, not a pointer to the newest label:
 //
 //	go run ./cmd/benchhot -check -baseline BENCH_hotpath.json \
-//	    -baseline-label post-refactor -max-regress 0.20 -out bench_current.json
+//	    -max-regress 0.20 -out bench_current.json
 package main
 
 import (
@@ -47,11 +48,16 @@ type Entry struct {
 var benches = []struct {
 	name string
 	fn   func(*testing.B)
+	// parallel marks benchmarks that run at GOMAXPROCS=NumCPU (the
+	// body sets it itself); their entries record that width so the
+	// gate compares like with like.
+	parallel bool
 }{
-	{"SingleCell", benchhot.SingleCell},
-	{"Fig62Sweep", benchhot.Fig62Sweep},
-	{"ServicePath", benchhot.ServicePath},
-	{"CampaignTrial", benchhot.CampaignTrial},
+	{"SingleCell", benchhot.SingleCell, false},
+	{"Fig62Sweep", benchhot.Fig62Sweep, false},
+	{"ServicePath", benchhot.ServicePath, false},
+	{"CampaignTrial", benchhot.CampaignTrial, false},
+	{"CampaignTrialParallel", benchhot.CampaignTrialParallel, true},
 }
 
 func measure(label, filter string) []Entry {
@@ -67,6 +73,10 @@ func measure(label, filter string) []Entry {
 		if ns <= 0 {
 			ns = float64(r.T.Nanoseconds()) / float64(r.N)
 		}
+		gmp := runtime.GOMAXPROCS(0)
+		if bm.parallel {
+			gmp = runtime.NumCPU()
+		}
 		e := Entry{
 			Name: bm.name, Label: label,
 			OpsPerSec:   1e9 / ns,
@@ -75,7 +85,7 @@ func measure(label, filter string) []Entry {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			N:           r.N,
 			GoVersion:   runtime.Version(),
-			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			GOMAXPROCS:  gmp,
 			Date:        now,
 		}
 		fmt.Fprintf(os.Stderr, "benchhot: %-12s %12.0f ops/sec  %10.1f ns/op  %d allocs/op\n",
@@ -134,48 +144,85 @@ func save(path string, entries []Entry) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// check compares fresh measurements against the baseline entries
-// carrying baseLabel. Two gates: ops/sec must not drop beyond
-// maxRegress (hardware-sensitive — the committed baseline was recorded
-// on one machine, so this catches gross regressions), and allocs/op
-// must not exceed the baseline by more than 25% (machine-independent —
-// in particular, a SingleCell baseline of 0 allocs/op means any new
-// per-op allocation fails).
-func check(fresh, baseline []Entry, baseLabel string, maxRegress float64) error {
-	base := make(map[string]Entry)
+// bestPrior reduces the baseline trajectory to, per (name, gomaxprocs),
+// the strictest bar it has ever set: the highest recorded ops/sec and
+// the lowest recorded allocs/op (possibly from different entries). The
+// trajectory is a ratchet — once a PR lands a speedup, later PRs are
+// gated against it, not against whichever label happens to be newest.
+type bestPrior struct {
+	ops    float64
+	allocs int64
+}
+
+func bestPriors(baseline []Entry, key func(Entry) string) map[string]bestPrior {
+	best := make(map[string]bestPrior)
 	for _, e := range baseline {
-		if e.Label == baseLabel {
-			base[e.Name] = e
+		k := key(e)
+		b, ok := best[k]
+		if !ok {
+			best[k] = bestPrior{ops: e.OpsPerSec, allocs: e.AllocsPerOp}
+			continue
 		}
+		if e.OpsPerSec > b.ops {
+			b.ops = e.OpsPerSec
+		}
+		if e.AllocsPerOp < b.allocs {
+			b.allocs = e.AllocsPerOp
+		}
+		best[k] = b
 	}
-	if len(base) == 0 {
-		return fmt.Errorf("baseline has no entries labelled %q", baseLabel)
+	return best
+}
+
+// check compares fresh measurements against the best prior entry per
+// (name, gomaxprocs) in the committed trajectory. Two gates: ops/sec
+// must not drop more than maxRegress below the best recorded
+// (hardware-sensitive — the baseline was recorded on one machine, so
+// this catches gross slowdowns), and allocs/op must not grow more than
+// maxAllocGrowth over the best recorded (machine-independent — in particular,
+// a SingleCell history of 0 allocs/op means any new per-op allocation
+// fails). A benchmark with no prior entry at the same gomaxprocs skips
+// the gate: ops/sec across different widths are not comparable, and a
+// cross-width ratchet would permanently fail any runner whose core
+// count differs from the recording machine's.
+//
+// The ratchet's escape hatches are the two tolerance flags: widen
+// -max-regress (ops/sec) or -max-alloc-growth (allocs/op) in CI for a
+// deliberate trade-off, rather than rewriting the committed trajectory.
+func check(fresh, baseline []Entry, maxRegress, maxAllocGrowth float64) error {
+	best := bestPriors(baseline, func(e Entry) string {
+		return fmt.Sprintf("%s|%d", e.Name, e.GOMAXPROCS)
+	})
+	if len(best) == 0 {
+		return fmt.Errorf("baseline has no entries")
 	}
 	var failed bool
 	for _, e := range fresh {
-		b, ok := base[e.Name]
+		b, ok := best[fmt.Sprintf("%s|%d", e.Name, e.GOMAXPROCS)]
+		width := fmt.Sprintf("gomaxprocs=%d", e.GOMAXPROCS)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchhot: %s: no %q baseline entry, skipping gate\n", e.Name, baseLabel)
+			fmt.Fprintf(os.Stderr, "benchhot: %s: no prior entry at %s, skipping gate\n", e.Name, width)
 			continue
 		}
-		floor := b.OpsPerSec * (1 - maxRegress)
-		ratio := e.OpsPerSec / b.OpsPerSec
+		floor := b.ops * (1 - maxRegress)
+		ratio := e.OpsPerSec / b.ops
 		status := "ok"
 		if e.OpsPerSec < floor {
 			status = "REGRESSION"
 			failed = true
 		}
-		allocLimit := b.AllocsPerOp + b.AllocsPerOp/4
+		allocLimit := b.allocs + int64(float64(b.allocs)*maxAllocGrowth)
 		if e.AllocsPerOp > allocLimit {
 			status = "ALLOC REGRESSION"
 			failed = true
 		}
 		fmt.Fprintf(os.Stderr,
-			"benchhot: gate %-12s %12.0f vs baseline %12.0f ops/sec (%.2fx, floor %.0f), %d vs %d allocs/op (limit %d): %s\n",
-			e.Name, e.OpsPerSec, b.OpsPerSec, ratio, floor, e.AllocsPerOp, b.AllocsPerOp, allocLimit, status)
+			"benchhot: gate %-22s %12.0f vs best prior %12.0f ops/sec (%.2fx, floor %.0f, %s), %d vs %d allocs/op (limit %d): %s\n",
+			e.Name, e.OpsPerSec, b.ops, ratio, floor, width, e.AllocsPerOp, b.allocs, allocLimit, status)
 	}
 	if failed {
-		return fmt.Errorf("regression beyond gate (ops/sec -%.0f%% or allocs/op +25%%)", maxRegress*100)
+		return fmt.Errorf("regression beyond gate (ops/sec -%.0f%% or allocs/op +%.0f%% vs best prior)",
+			maxRegress*100, maxAllocGrowth*100)
 	}
 	return nil
 }
@@ -187,8 +234,8 @@ func main() {
 		doCheck    = flag.Bool("check", false, "gate against a baseline file")
 		benchArg   = flag.String("bench", "", "measure only benchmarks whose name contains this substring")
 		baseline   = flag.String("baseline", "BENCH_hotpath.json", "baseline file for -check")
-		baseLabel  = flag.String("baseline-label", "post-refactor", "baseline label to gate against")
 		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed ops/sec drop for -check")
+		maxAllocs  = flag.Float64("max-alloc-growth", 0.25, "maximum allowed allocs/op growth for -check")
 	)
 	flag.Parse()
 
@@ -225,7 +272,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchhot: %v\n", err)
 			os.Exit(1)
 		}
-		err = check(fresh, base, *baseLabel, *maxRegress)
+		err = check(fresh, base, *maxRegress, *maxAllocs)
 		if err != nil {
 			// Best-of-two: a single testing.Benchmark sample on a noisy
 			// shared runner can dip below the floor without any code
@@ -245,7 +292,7 @@ func main() {
 				}
 				fresh[i].AllocsPerOp = worstAllocs
 			}
-			err = check(fresh, base, *baseLabel, *maxRegress)
+			err = check(fresh, base, *maxRegress, *maxAllocs)
 		}
 		if err != nil {
 			emit() // record the failing numbers too: red runs are data

@@ -23,17 +23,33 @@
 // suite in internal/harness proves this by comparing stats.Snapshot
 // serializations across execution modes.
 //
+// The machine itself is checkpointable — the paper's idea applied to
+// the simulator. machine.Snapshot captures a quiescent machine's
+// complete mutable state (the event queue is saved as data: pending
+// step/drain events carry sim.Tags and are re-bound to their closures
+// on restore) and machine.Restore rewinds a live machine to it in
+// place, without reallocating; machine.Reset recycles a machine's
+// every allocation for a fresh run under a new scheme. On top of
+// these, the harness Runner pools whole machines by harness.ReuseKey
+// (cells differing only in scheme recycle one machine), and the
+// campaign engine warms a machine once per worker and restores it per
+// trial. Equivalence is load-bearing and proven: restored, reset and
+// freshly-built machines produce byte-identical statistics
+// (internal/harness snapshot and reset-reuse suites).
+//
 // On top of the runner sit the service layers of cmd/reboundd,
 // simulation-as-a-service: internal/store is a content-addressed
 // on-disk result store (one self-verifying JSON record per Spec,
 // addressed by sha256 of the canonical Spec key, fronted by an
-// in-memory LRU) that serves identical requests across process
-// restarts without re-simulating; internal/service is the HTTP API —
-// POST /v1/runs, POST /v1/sweeps (named figures or explicit spec
-// lists), GET /v1/runs/{key}, /healthz, /metrics — with shared
-// Spec.Validate request validation, singleflight deduplication of
-// identical in-flight Specs, a bounded admission queue, and graceful
-// shutdown.
+// in-memory LRU holding both decoded records and their raw bytes)
+// that serves identical requests across process restarts without
+// re-simulating; internal/service is the HTTP API — POST /v1/runs,
+// POST /v1/sweeps (named figures or explicit spec lists),
+// GET /v1/runs/{key} (the stored record bytes served zero-copy, with
+// the content address as a permanent ETag), /healthz, /metrics — with
+// shared Spec.Validate request validation, singleflight deduplication
+// of identical in-flight Specs, a bounded admission queue, and
+// graceful shutdown.
 //
 // The reliability layer is internal/campaign, the Monte Carlo
 // fault-campaign engine: it runs thousands of deterministic
@@ -44,7 +60,10 @@
 // injector's poison verifier, and aggregates MTTR, availability,
 // rolled-back work and recovery interaction-set sizes into a
 // campaign.Report with confidence intervals — byte-identical across
-// serial, parallel and interrupt-then-resume executions. Per-trial
+// both trial executors (build-and-warm reference vs the machine
+// snapshot engine, which amortizes the shared warmup across all
+// trials) and across serial, parallel and interrupt-then-resume
+// executions. Per-trial
 // records and reports persist content-addressed through internal/store,
 // so campaigns resume instead of restarting; cmd/campaign is the CLI
 // and POST/GET /v1/campaigns the asynchronous service surface, with

@@ -239,6 +239,40 @@ func (c *Cache) ForEach(fn func(*Line)) {
 	}
 }
 
+// Snapshot is a saved cache image: the full line array plus the LRU
+// clock. Save reuses the snapshot's backing storage across captures.
+type Snapshot struct {
+	Lines   []Line
+	LruTick uint64
+}
+
+// Save copies the cache contents into s, reusing s.Lines storage.
+func (c *Cache) Save(s *Snapshot) {
+	if cap(s.Lines) < len(c.lines) {
+		s.Lines = make([]Line, len(c.lines))
+	} else {
+		s.Lines = s.Lines[:len(c.lines)]
+	}
+	copy(s.Lines, c.lines)
+	s.LruTick = c.lruTick
+}
+
+// Load restores the cache from s. The geometry must match the capture.
+func (c *Cache) Load(s *Snapshot) {
+	if len(s.Lines) != len(c.lines) {
+		panic("cache: snapshot geometry mismatch")
+	}
+	copy(c.lines, s.Lines)
+	c.lruTick = s.LruTick
+}
+
+// Reset returns the cache to its just-constructed state (all lines
+// invalid, LRU clock zero), keeping the line array.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	c.lruTick = 0
+}
+
 // CountDirty returns the number of dirty lines.
 func (c *Cache) CountDirty() int {
 	n := 0

@@ -29,11 +29,13 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -95,11 +97,23 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Key returns the canonical identity of the campaign: the base cell's
-// canonical key plus every fault-grid field, in a fixed order.
+// trialSemantics versions the trial executor's behaviour inside the
+// campaign identity. Bump it whenever a change alters what a trial
+// simulates or records (warmup shape, window bounding, settle/cool-down
+// policy): the campaign key addresses the persistent trial store, and
+// without the version a resumed campaign would silently mix trials
+// computed under two incompatible executors into one cached Report.
+// v2: snapshot-engine semantics — warmup settles to a snapshot-safe
+// point, the trial is bounded by the fault window plus quiesce instead
+// of the full instruction budget, 2L cool-down.
+const trialSemantics = "v2"
+
+// Key returns the canonical identity of the campaign: the trial
+// semantics version, the base cell's canonical key and every
+// fault-grid field, in a fixed order.
 func (s Spec) Key() string {
-	return fmt.Sprintf("campaign|%s|trials=%d|faults=%d|win=%d|L=%d|seed=%d",
-		s.Base.Key(), s.Trials, s.Faults, s.Window, s.DetectLatency, s.Seed)
+	return fmt.Sprintf("campaign|%s|%s|trials=%d|faults=%d|win=%d|L=%d|seed=%d",
+		trialSemantics, s.Base.Key(), s.Trials, s.Faults, s.Window, s.DetectLatency, s.Seed)
 }
 
 // KeyOf returns the content address of a campaign: the hex sha256 of
@@ -167,18 +181,35 @@ type Trial struct {
 
 // settleSlice is the granularity at which a trial's settle loop runs
 // the machine while waiting for in-flight recoveries to finish.
-const settleSlice = sim.Cycle(100_000)
+const settleSlice = sim.Cycle(25_000)
 
-// RunTrial executes one trial on the calling goroutine: the base cell
-// simulated with spec.Faults faults placed by TrialSeed(spec, index).
-// It is the uncached primitive underneath the Engine — a pure function
-// of (spec, index), with no shared state between invocations (arena
-// only recycles memory; nil means fresh allocations).
-func RunTrial(spec Spec, index int, arena *cache.Arena) (Trial, error) {
-	m, err := harness.BuildIn(arena, spec.Base)
-	if err != nil {
-		return Trial{}, err
-	}
+// warmSettleLimit bounds the post-warmup settle to the machine's next
+// snapshot-safe point (machine.SettleForSnapshot).
+const warmSettleLimit = sim.Cycle(400_000)
+
+// warm runs the deterministic fault-free warmup every trial of a
+// campaign shares: a quarter of the instruction budget (so checkpoints
+// exist before the first fault can land) plus the settle to the next
+// snapshot-safe point. It reports whether that point was reached. Both
+// trial executors run exactly this — the fresh builder because it is
+// the reference semantics, the snapshot engine because the state it
+// captures here is what every restored trial resumes from — so the two
+// stay byte-identical by construction.
+func warm(m *machine.Machine, spec Spec) bool {
+	budget := spec.Base.Scale.InstrPerProc * uint64(spec.Base.Procs)
+	m.Run(budget / 4)
+	return m.SettleForSnapshot(warmSettleLimit)
+}
+
+// runPhase executes the fault scenario of trial (spec, index) on a
+// warmed machine: launch the faults over the window, run the window
+// (plus detection margin) out, settle until the injector quiesces, and
+// score the trial. The trial is bounded by the fault window rather than
+// the remaining instruction budget — recovery behaviour is what the
+// campaign measures, and the post-recovery tail added nothing but
+// simulated cycles (this bound is where the bulk of the engine's
+// throughput comes from; see BENCH_hotpath.json).
+func runPhase(m *machine.Machine, spec Spec, index int) Trial {
 	fs := fault.Spec{
 		Faults:           spec.Faults,
 		Window:           sim.Cycle(spec.Window),
@@ -186,28 +217,23 @@ func RunTrial(spec Spec, index int, arena *cache.Arena) (Trial, error) {
 		Seed:             TrialSeed(spec, index),
 	}
 	inj := fault.New(m, fs)
-
-	// Warm up a quarter of the budget so checkpoints exist before the
-	// first fault can land, launch the trial's fault scenario over the
-	// window, then run the budget out.
-	budget := spec.Base.Scale.InstrPerProc * uint64(spec.Base.Procs)
-	m.Run(budget / 4)
 	inj.Launch()
-	m.Run(budget - budget/4)
+	L := m.Cfg.DetectLatency
+	m.RunCycles(inj.ResolvedWindow() + 2*L)
 
-	// Settle: faults placed near the end of the window may still be
-	// undetected (or mid-recovery) when the instruction budget runs
-	// out; run bounded extra slices until the injector quiesces. The
-	// bound keeps a scheme that never recovers (e.g. "none") from
-	// spinning forever — Verify then reports the surviving poison.
-	maxSlices := 40 + int((inj.ResolvedWindow()+m.Cfg.DetectLatency)/settleSlice)
+	// Settle: faults detected near the end of the window may still be
+	// mid-recovery; run bounded extra slices until the injector
+	// quiesces. The bound keeps a scheme that never recovers (e.g.
+	// "none") from spinning forever — Verify then reports the surviving
+	// poison.
+	maxSlices := 160 + int((inj.ResolvedWindow()+L)/settleSlice)
 	for i := 0; i < maxSlices && !inj.Quiesced(); i++ {
 		m.RunCycles(settleSlice)
 	}
 	if inj.Quiesced() {
-		// One more slice so background drains and protocol tails finish
-		// before the verifier inspects memory.
-		m.RunCycles(settleSlice)
+		// A short cool-down so protocol tails (resume fan-ins, stall
+		// accounting) land before the verifier inspects the machine.
+		m.RunCycles(2 * L)
 	}
 	m.FinalizeStats()
 
@@ -219,6 +245,11 @@ func RunTrial(spec Spec, index int, arena *cache.Arena) (Trial, error) {
 		Tainted:      inj.TaintedEver.Elems(),
 		EndCycle:     m.St.EndCycle,
 		Instructions: m.St.TotalInstructions(),
+	}
+	if n := len(m.St.Rollbacks); n > 0 {
+		// Pre-size from the rollback count instead of growing by append.
+		tr.Recoveries = make([]uint64, 0, n)
+		tr.IRECSizes = make([]int, 0, n)
 	}
 	for _, rb := range m.St.Rollbacks {
 		tr.Recoveries = append(tr.Recoveries, rb.End-rb.Start)
@@ -234,6 +265,146 @@ func RunTrial(spec Spec, index int, arena *cache.Arena) (Trial, error) {
 	} else {
 		tr.VerifyOK = true
 	}
+	return tr
+}
+
+// RunTrial executes one trial on the calling goroutine, building and
+// warming a fresh machine: the base cell simulated with spec.Faults
+// faults placed by TrialSeed(spec, index). It is the uncached reference
+// executor underneath the Engine — a pure function of (spec, index),
+// with no shared state between invocations (arena only recycles
+// memory; nil means fresh allocations). The TrialRunner produces
+// byte-identical trials without the per-trial rebuild.
+func RunTrial(spec Spec, index int, arena *cache.Arena) (Trial, error) {
+	m, err := harness.BuildIn(arena, spec.Base)
+	if err != nil {
+		return Trial{}, err
+	}
+	warm(m, spec)
+	return runPhase(m, spec, index), nil
+}
+
+// TrialRunner runs the trials of one campaign Spec through the machine
+// snapshot engine: each pooled machine is built and warmed once, its
+// post-warmup state captured with machine.Snapshot, and every trial
+// rewinds it with machine.Restore instead of rebuilding — the paper's
+// checkpoint/restore idea applied to the simulator itself. Trials are
+// byte-identical to RunTrial's because both share warm()/runPhase() and
+// Restore rewinds the complete machine state.
+//
+// A TrialRunner is safe for concurrent use: the machine pool grows to
+// the number of concurrent callers. If the base cell never reaches a
+// snapshot-safe point (SettleForSnapshot gives up), Run falls back to
+// the fresh-build path — still byte-identical, since the reference
+// executor settles the same way.
+type TrialRunner struct {
+	spec Spec
+
+	mu   sync.Mutex
+	free []*warmMachine
+	// snapState: 0 unknown, 1 snapshotting works, 2 unsupported.
+	snapState int
+}
+
+type warmMachine struct {
+	m    *machine.Machine
+	snap machine.MachineSnapshot
+}
+
+// NewTrialRunner returns a runner for spec's trials.
+func NewTrialRunner(spec Spec) *TrialRunner { return &TrialRunner{spec: spec} }
+
+// acquire returns a warmed machine with its snapshot, building one if
+// the pool is empty. ok=false means snapshotting is unsupported for
+// this cell and the caller must use the fresh-build path.
+func (t *TrialRunner) acquire() (*warmMachine, bool, error) {
+	t.mu.Lock()
+	if t.snapState == 2 {
+		t.mu.Unlock()
+		return nil, false, nil
+	}
+	if n := len(t.free); n > 0 {
+		wm := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.mu.Unlock()
+		return wm, true, nil
+	}
+	t.mu.Unlock()
+
+	m, err := harness.Build(t.spec.Base)
+	if err != nil {
+		return nil, false, err
+	}
+	wm := &warmMachine{m: m}
+	ok := warm(m, t.spec)
+	if ok {
+		ok = m.Snapshot(&wm.snap) == nil
+	}
+	t.mu.Lock()
+	if !ok {
+		t.snapState = 2
+		t.mu.Unlock()
+		return nil, false, nil
+	}
+	t.snapState = 1
+	t.mu.Unlock()
+	return wm, true, nil
+}
+
+func (t *TrialRunner) release(wm *warmMachine) {
+	t.mu.Lock()
+	t.free = append(t.free, wm)
+	t.mu.Unlock()
+}
+
+// Prewarm builds and pools at least n warmed machines (fewer if the
+// cell cannot be snapshotted), so a caller about to fan n workers out
+// — or a benchmark about to start its timer — pays no build+warm
+// inside the measured/parallel region. It acquires all n before
+// releasing any, which is what guarantees n distinct machines.
+func (t *TrialRunner) Prewarm(n int) error {
+	ms := make([]*warmMachine, 0, n)
+	for i := 0; i < n; i++ {
+		wm, ok, err := t.acquire()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ms = append(ms, wm)
+	}
+	for _, wm := range ms {
+		t.release(wm)
+	}
+	return nil
+}
+
+// Run executes trial index and returns its record: restore the warmed
+// snapshot, run the fault scenario — or the fresh-build fallback when
+// the cell cannot be snapshotted.
+func (t *TrialRunner) Run(index int) (Trial, error) { return t.RunIn(index, nil) }
+
+// RunIn is Run with an arena for the fresh-build fallback: when the
+// cell never reaches a snapshot-safe point, every trial builds its own
+// machine, and the arena recycles those builds' cache arrays exactly
+// as the pre-snapshot executor did. Pooled (snapshottable) machines
+// never touch the arena — they outlive its reset.
+func (t *TrialRunner) RunIn(index int, arena *cache.Arena) (Trial, error) {
+	wm, ok, err := t.acquire()
+	if err != nil {
+		return Trial{}, err
+	}
+	if !ok {
+		return RunTrial(t.spec, index, arena)
+	}
+	if err := wm.m.Restore(&wm.snap); err != nil {
+		return Trial{}, err
+	}
+	tr := runPhase(wm.m, t.spec, index)
+	// A panicking trial abandons the machine (the caller recovers);
+	// only a completed one returns to the pool.
+	t.release(wm)
 	return tr, nil
 }
 
@@ -336,6 +507,11 @@ type Engine struct {
 	// total, counting trials restored from the store. It is called from
 	// worker goroutines and must be safe for concurrent use.
 	OnProgress func(done, total int)
+
+	// FreshBuild forces every trial through the build-and-warm reference
+	// executor instead of the snapshot engine. The acceptance suite runs
+	// both and diffs the Reports; production campaigns leave it false.
+	FreshBuild bool
 }
 
 // New returns an engine running on runner. st may be nil for an
@@ -435,6 +611,10 @@ func (e *Engine) run(ctx context.Context, spec Spec, serial bool) (*Report, erro
 			missing = append(missing, i)
 		}
 	}
+	var trunner *TrialRunner
+	if !e.FreshBuild {
+		trunner = NewTrialRunner(spec)
+	}
 	runOne := func(i int) (err error) {
 		// Contain simulator panics the way Runner.RunOne does (a config
 		// that passes Validate but panics in the machine): a campaign
@@ -447,7 +627,15 @@ func (e *Engine) run(ctx context.Context, spec Spec, serial bool) (*Report, erro
 			}
 		}()
 		var tr Trial
-		e.runner.WithArena(func(a *cache.Arena) { tr, err = RunTrial(spec, i, a) })
+		if trunner != nil {
+			// Snapshot engine: warm once per pooled machine, restore per
+			// trial (a panicking trial abandons its machine, so the pool
+			// never holds corrupted state). The arena only serves the
+			// fresh-build fallback of non-snapshottable cells.
+			e.runner.WithArena(func(a *cache.Arena) { tr, err = trunner.RunIn(i, a) })
+		} else {
+			e.runner.WithArena(func(a *cache.Arena) { tr, err = RunTrial(spec, i, a) })
+		}
 		if err != nil {
 			return err
 		}

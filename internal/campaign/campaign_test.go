@@ -114,13 +114,23 @@ func TestRunTrialDeterministicAcrossArenaReuse(t *testing.T) {
 
 // TestCampaignByteIdentity is the acceptance bar of the campaign
 // subsystem: a >=200-trial campaign produces byte-identical Report JSON
-// across serial, parallel and interrupt-then-resume executions, with
-// every trial passing the poison verifier.
+// across BOTH trial executors (the build-and-warm reference and the
+// machine snapshot/restore engine) and across serial, parallel and
+// interrupt-then-resume executions, with every trial passing the
+// poison verifier.
 func TestCampaignByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("200-trial campaign skipped in -short mode")
 	}
 	spec := testSpec(200)
+
+	// Reference executor: every trial builds and warms its own machine.
+	freshEng := New(harness.NewRunner(1), nil)
+	freshEng.FreshBuild = true
+	fresh, err := freshEng.RunSerial(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ser, err := New(harness.NewRunner(1), nil).RunSerial(context.Background(), spec)
 	if err != nil {
@@ -167,7 +177,10 @@ func TestCampaignByteIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sj, pj, rj := reportJSON(t, ser), reportJSON(t, par), reportJSON(t, res)
+	fj, sj, pj, rj := reportJSON(t, fresh), reportJSON(t, ser), reportJSON(t, par), reportJSON(t, res)
+	if !bytes.Equal(fj, sj) {
+		t.Error("snapshot-engine report differs from the fresh-build reference")
+	}
 	if !bytes.Equal(sj, pj) {
 		t.Error("parallel report differs from serial")
 	}
@@ -184,6 +197,35 @@ func TestCampaignByteIdentity(t *testing.T) {
 	}
 	if ser.MTTRms <= 0 || ser.Availability <= 0 || ser.Availability > 1 {
 		t.Fatalf("implausible aggregate: MTTR=%v ms availability=%v", ser.MTTRms, ser.Availability)
+	}
+}
+
+// TestTrialRunnerMatchesFreshBuildAcrossSchemes pins the executor
+// equivalence per scheme: for every registered scheme, trials run
+// through the snapshot engine (including a machine reused across
+// trials) are byte-identical to the build-and-warm reference.
+func TestTrialRunnerMatchesFreshBuildAcrossSchemes(t *testing.T) {
+	for _, scheme := range harness.SchemeNames() {
+		t.Run(scheme, func(t *testing.T) {
+			spec := testSpec(3)
+			spec.Base.Scheme = scheme
+			tr := NewTrialRunner(spec)
+			for i := 0; i < spec.Trials; i++ {
+				want, err := RunTrial(spec, i, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tr.Run(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wj, _ := json.Marshal(want)
+				gj, _ := json.Marshal(got)
+				if !bytes.Equal(wj, gj) {
+					t.Fatalf("trial %d: snapshot engine diverged from fresh build\n got: %s\nwant: %s", i, gj, wj)
+				}
+			}
+		})
 	}
 }
 

@@ -397,6 +397,54 @@ func (d *Directory) DetachProc(pid int) {
 	}
 }
 
+// Snapshot is a saved directory image: the flat per-line state arrays.
+// Save reuses its storage across captures.
+type Snapshot struct {
+	Owner   []int32
+	LWID    []int32
+	Sharers []uint64
+}
+
+// Save copies the per-line state into s.
+func (d *Directory) Save(s *Snapshot) {
+	s.Owner = append(s.Owner[:0], d.owner...)
+	s.LWID = append(s.LWID[:0], d.lwid...)
+	s.Sharers = append(s.Sharers[:0], d.sharers...)
+}
+
+// Load restores the per-line state from s. Entries grown past the
+// capture (lines interned by a discarded trial) are reset to the
+// untouched defaults a fresh build would hold for them; a colder
+// directory grows to the captured size.
+func (d *Directory) Load(s *Snapshot) {
+	for len(d.owner) < len(s.Owner) {
+		d.owner = append(d.owner, noProc)
+		d.lwid = append(d.lwid, noProc)
+		for i := 0; i < d.wpp; i++ {
+			d.sharers = append(d.sharers, 0)
+		}
+	}
+	copy(d.owner, s.Owner)
+	copy(d.lwid, s.LWID)
+	copy(d.sharers, s.Sharers)
+	for i := len(s.Owner); i < len(d.owner); i++ {
+		d.owner[i] = noProc
+		d.lwid[i] = noProc
+	}
+	clear(d.sharers[len(s.Sharers):])
+}
+
+// Reset reverts every directory entry to its untouched state in place,
+// for Machine.Reset. The shared line table survives a machine reset,
+// so the arrays keep their length.
+func (d *Directory) Reset() {
+	for i := range d.owner {
+		d.owner[i] = noProc
+		d.lwid[i] = noProc
+	}
+	clear(d.sharers)
+}
+
 // CheckInvariants validates the directory against the actual cache
 // contents: an owned entry has no sharers, and every processor the
 // directory believes holds a copy either holds it or (owner case) may

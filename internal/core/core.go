@@ -192,6 +192,64 @@ func (r *Rebound) closureSize(initiator int, exact bool) int {
 	return size
 }
 
+// reboundState is Rebound's snapshot form (machine.SchemeSnapshotter):
+// the backoff RNG plus the plain-data residue of each processor's
+// protocol state. Everything else (busy flags, operation pointers,
+// continuations) is structurally nil/false at a quiescent point.
+type reboundState struct {
+	rng uint64
+	ps  []reboundProcState
+}
+
+type reboundProcState struct {
+	retryNotBefore sim.Cycle
+	pausedAt       sim.Cycle
+	redetect       bool
+}
+
+// SchemeQuiescent implements machine.SchemeSnapshotter: no checkpoint,
+// rollback or barrier operation in flight anywhere, no held I/O
+// continuations, no drains.
+func (r *Rebound) SchemeQuiescent() bool {
+	if r.barOp != nil {
+		return false
+	}
+	for _, ps := range r.ps {
+		if ps.busy || ps.draining || ps.inBarCk || ps.cop != nil || ps.rop != nil || ps.ioResume != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// SchemeSnapshot implements machine.SchemeSnapshotter.
+func (r *Rebound) SchemeSnapshot() any {
+	st := &reboundState{rng: r.rng.State(), ps: make([]reboundProcState, len(r.ps))}
+	for i, ps := range r.ps {
+		st.ps[i] = reboundProcState{
+			retryNotBefore: ps.retryNotBefore,
+			pausedAt:       ps.pausedAt,
+			redetect:       ps.redetect,
+		}
+	}
+	return st
+}
+
+// SchemeRestore implements machine.SchemeSnapshotter.
+func (r *Rebound) SchemeRestore(state any) {
+	st := state.(*reboundState)
+	r.rng.Restore(st.rng)
+	r.barOp = nil
+	for i, ps := range r.ps {
+		ps.busy, ps.draining, ps.inBarCk = false, false, false
+		ps.cop, ps.rop = nil, nil
+		ps.ioResume = nil
+		ps.retryNotBefore = st.ps[i].retryNotBefore
+		ps.pausedAt = st.ps[i].pausedAt
+		ps.redetect = st.ps[i].redetect
+	}
+}
+
 // record appends a checkpoint record and returns its index.
 func (r *Rebound) record(rec stats.CkptRecord) int {
 	r.m.St.Checkpoints = append(r.m.St.Checkpoints, rec)

@@ -15,9 +15,9 @@ type Global struct {
 	m   *machine.Machine
 	dwb bool
 
-	active    bool
-	rolling   bool
-	aborted   bool
+	active  bool
+	rolling bool
+	aborted bool
 	// redetect marks a fault detection that arrived mid-rollback; it is
 	// re-evaluated when the rollback completes (a fault injected after
 	// the restore survives it and needs a rollback of its own).
@@ -191,6 +191,30 @@ func (g *Global) finish(recIdx int, lines uint64) {
 	rec.End = g.m.Now()
 	rec.Lines = lines
 	g.fireIO()
+}
+
+// globalState is Global's snapshot form (machine.SchemeSnapshotter).
+type globalState struct {
+	aborted, redetect bool
+}
+
+// SchemeQuiescent implements machine.SchemeSnapshotter: no checkpoint
+// or rollback in flight and no held I/O continuations.
+func (g *Global) SchemeQuiescent() bool {
+	return !g.active && !g.rolling && len(g.pendingIO) == 0
+}
+
+// SchemeSnapshot implements machine.SchemeSnapshotter.
+func (g *Global) SchemeSnapshot() any {
+	return globalState{aborted: g.aborted, redetect: g.redetect}
+}
+
+// SchemeRestore implements machine.SchemeSnapshotter.
+func (g *Global) SchemeRestore(state any) {
+	s := state.(globalState)
+	g.active, g.rolling = false, false
+	g.aborted, g.redetect = s.aborted, s.redetect
+	g.pendingIO = nil
 }
 
 // FaultDetected implements machine.Scheme: Global recovery rolls back

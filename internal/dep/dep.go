@@ -67,6 +67,11 @@ type Tracker struct {
 	sigHashes int
 	live      []*RegSet // oldest first
 	free      []*RegSet
+	// all holds every physical set in construction order, permanently:
+	// snapshot Load and Reset repartition live/free over it without
+	// allocating (sets are interchangeable once their contents are
+	// overwritten).
+	all []*RegSet
 }
 
 // NewTracker returns a tracker with capacity register sets (the paper
@@ -78,8 +83,12 @@ func NewTracker(capacity, sigBits, sigHashes int) *Tracker {
 		panic("dep: need at least 2 register sets")
 	}
 	t := &Tracker{capacity: capacity, sigBits: sigBits, sigHashes: sigHashes}
+	t.all = make([]*RegSet, capacity)
+	t.free = make([]*RegSet, 0, capacity)
+	t.live = make([]*RegSet, 0, capacity)
 	for i := 0; i < capacity; i++ {
-		t.free = append(t.free, newRegSet(sigBits, sigHashes))
+		t.all[i] = newRegSet(sigBits, sigHashes)
+		t.free = append(t.free, t.all[i])
 	}
 	t.mustOpen(0)
 	return t
@@ -210,6 +219,100 @@ func (t *Tracker) ConsumersFrom(epoch uint64) *bitset.Bitset {
 // Live returns the live sets oldest-first (shared storage; callers must
 // not retain across Open/Release).
 func (t *Tracker) Live() []*RegSet { return t.live }
+
+// SetSnapshot is one register set's saved state. Sets are captured in
+// ring order — live oldest-first, then the free stack bottom-first — so
+// a Load reproduces not just the contents but the exact recycling order.
+type SetSnapshot struct {
+	Epoch       uint64
+	MyProducers *bitset.Bitset
+	MyConsumers *bitset.Bitset
+	PExact      *bitset.Bitset
+	CExact      *bitset.Bitset
+	WSIG        sig.PairedSnapshot
+}
+
+// Snapshot is a saved tracker image.
+type Snapshot struct {
+	NLive int
+	Sets  []SetSnapshot
+}
+
+func (ss *SetSnapshot) save(r *RegSet) {
+	ss.Epoch = r.Epoch
+	if ss.MyProducers == nil {
+		ss.MyProducers = bitset.New(64)
+		ss.MyConsumers = bitset.New(64)
+		ss.PExact = bitset.New(64)
+		ss.CExact = bitset.New(64)
+	}
+	ss.MyProducers.CopyFrom(r.MyProducers)
+	ss.MyConsumers.CopyFrom(r.MyConsumers)
+	ss.PExact.CopyFrom(r.PExact)
+	ss.CExact.CopyFrom(r.CExact)
+	r.WSIG.Save(&ss.WSIG)
+}
+
+func (ss *SetSnapshot) load(r *RegSet) {
+	r.Epoch = ss.Epoch
+	r.MyProducers.CopyFrom(ss.MyProducers)
+	r.MyConsumers.CopyFrom(ss.MyConsumers)
+	r.PExact.CopyFrom(ss.PExact)
+	r.CExact.CopyFrom(ss.CExact)
+	r.WSIG.Load(&ss.WSIG)
+}
+
+// Save copies the tracker state into s, reusing its storage.
+func (t *Tracker) Save(s *Snapshot) {
+	s.NLive = len(t.live)
+	if cap(s.Sets) < t.capacity {
+		s.Sets = make([]SetSnapshot, t.capacity)
+	} else {
+		s.Sets = s.Sets[:t.capacity]
+	}
+	i := 0
+	for _, r := range t.live {
+		s.Sets[i].save(r)
+		i++
+	}
+	for _, r := range t.free {
+		s.Sets[i].save(r)
+		i++
+	}
+}
+
+// Load restores the tracker from s: the first NLive saved sets become
+// the live ring (oldest first), the rest the free stack, repartitioned
+// over the permanent physical sets without allocating. Which physical
+// set carries which saved slot is irrelevant — contents are fully
+// overwritten. The tracker's capacity must match the capture.
+func (t *Tracker) Load(s *Snapshot) {
+	if len(s.Sets) != t.capacity {
+		panic("dep: snapshot capacity mismatch")
+	}
+	t.live = t.live[:0]
+	t.free = t.free[:0]
+	for i, r := range t.all {
+		s.Sets[i].load(r)
+		if i < s.NLive {
+			t.live = append(t.live, r)
+		} else {
+			t.free = append(t.free, r)
+		}
+	}
+}
+
+// Reset returns the tracker to its just-constructed state: every set
+// cleared including the cumulative WSIG counters, epoch 0 open.
+func (t *Tracker) Reset() {
+	for _, r := range t.all {
+		r.clear(0)
+		r.WSIG.ResetAll()
+	}
+	t.free = append(t.free[:0], t.all...)
+	t.live = t.live[:0]
+	t.mustOpen(0)
+}
 
 // FalsePositiveStats sums WSIG membership tests and false positives
 // across all register sets (live and free; counters are cumulative).

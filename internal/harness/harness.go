@@ -247,6 +247,11 @@ func runSpec(spec Spec, arena *cache.Arena) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return measure(m, spec), nil
+}
+
+// measure runs a built machine to its spec's budget and scores it.
+func measure(m *machine.Machine, spec Spec) Result {
 	end := m.Run(spec.Scale.InstrPerProc * uint64(spec.Procs))
 	m.FinalizeStats()
 	hasDep := spec.Scheme != "none" && spec.Scheme != "Global" && spec.Scheme != "Global_DWB"
@@ -255,7 +260,44 @@ func runSpec(spec Spec, arena *cache.Arena) (Result, error) {
 		St:     m.St,
 		Cycles: uint64(end),
 		Power:  power.Default45nm().Compute(m.St, hasDep),
-	}, nil
+	}
+}
+
+// ReuseKey is the machine-recycling identity of a spec: every field
+// that shapes the built machine (workload, processor count, scale,
+// hardware knobs) EXCEPT the scheme and the log-ablation flag, which
+// Machine.Reset swaps without rebuilding. Cells with equal ReuseKeys
+// can run on one recycled machine; DeriveSeed deliberately ignores the
+// same fields, so the recycled machine replays the identical streams.
+func ReuseKey(s Spec) string {
+	b := s
+	b.Scheme, b.LogAllWB = "", false
+	return b.Key()
+}
+
+// resetAndRun recycles a previously-built machine for spec: the
+// machine is Reset under spec's scheme (bit-identical to a fresh
+// build, see machine.Reset) and run to the budget. The caller
+// guarantees ReuseKey(spec) matches the machine's original spec.
+func resetAndRun(m *machine.Machine, spec Spec) (Result, error) {
+	sch, err := SchemeFor(spec.Scheme)
+	if err != nil {
+		return Result{}, err
+	}
+	m.Reset(sch)
+	if spec.LogAllWB {
+		m.Ctrl.Log().AlwaysLog = true
+	}
+	return measure(m, spec), nil
+}
+
+// detachStats replaces a pooled-machine Result's stats (which alias
+// the machine's in-place sink) with a private deep copy, so recycling
+// the machine can never mutate a published, memoized Result.
+func detachStats(res *Result) {
+	st := stats.New(res.St.NProcs)
+	res.St.CopyInto(st)
+	res.St = st
 }
 
 // MustRun runs a known-good spec (figure drivers) through the

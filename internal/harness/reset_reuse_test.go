@@ -1,0 +1,57 @@
+package harness_test
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+)
+
+// TestResetReuseMatchesFresh is the byte-identity bar of the runner's
+// machine-recycling path: one machine Reset across every scheme (and
+// the log-ablation knob) must reproduce the stats of a fresh build,
+// bit for bit. The runner memoizes Results, so any divergence here
+// would poison every figure that shares the cell.
+func TestResetReuseMatchesFresh(t *testing.T) {
+	var recycled *machine.Machine
+	run := func(m *machine.Machine, spec harness.Spec) string {
+		m.Run(spec.Scale.InstrPerProc * uint64(spec.Procs))
+		m.FinalizeStats()
+		return m.St.Snapshot()
+	}
+	specs := make([]harness.Spec, 0, len(harness.SchemeNames())+1)
+	for _, scheme := range harness.SchemeNames() {
+		specs = append(specs, harness.Spec{App: "Ocean", Procs: 8, Scheme: scheme, Scale: harness.Quick})
+	}
+	specs = append(specs, harness.Spec{App: "Ocean", Procs: 8, Scheme: "Rebound",
+		Scale: harness.Quick, LogAllWB: true})
+
+	for _, spec := range specs {
+		if harness.ReuseKey(spec) != harness.ReuseKey(specs[0]) {
+			t.Fatalf("spec %v does not share the reuse key under test", spec)
+		}
+		fresh, err := harness.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := run(fresh, spec)
+
+		if recycled == nil {
+			if recycled, err = harness.Build(spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sch, err := harness.SchemeFor(spec.Scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recycled.Reset(sch)
+		if spec.LogAllWB {
+			recycled.Ctrl.Log().AlwaysLog = true
+		}
+		if got := run(recycled, spec); got != want {
+			t.Errorf("%s (logallwb=%t): recycled machine diverged from fresh build",
+				spec.Scheme, spec.LogAllWB)
+		}
+	}
+}

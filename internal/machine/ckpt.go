@@ -15,17 +15,35 @@ func (p *Proc) takeSnapshot() Snapshot {
 	}
 }
 
+// newRec takes a checkpoint record from the processor's pool (or the
+// heap). Pooling matters once machines are recycled across campaign
+// trials: every trial re-creates its checkpoint history, and the per-
+// record allocation was a fixed per-trial cost.
+func (p *Proc) newRec() *CkptRec {
+	if n := len(p.recFree); n > 0 {
+		r := p.recFree[n-1]
+		p.recFree = p.recFree[:n-1]
+		*r = CkptRec{}
+		return r
+	}
+	return new(CkptRec)
+}
+
+// freeRec returns a record to the pool. The caller must guarantee no
+// live closure still references it (completed records only, or whole-
+// machine restore/reset where every outstanding closure is discarded).
+func (p *Proc) freeRec(r *CkptRec) { p.recFree = append(p.recFree, r) }
+
 // BeginCheckpoint captures the processor's register state at the
 // checkpoint sync point and returns the pending record. The caller
 // must be holding the processor paused. The new interval is not opened
 // yet — call OpenNextEpoch (which may stall on Dep register pressure)
 // before resuming.
 func (p *Proc) BeginCheckpoint() *CkptRec {
-	rec := &CkptRec{
-		OpenedEpoch: p.curEpoch + 1,
-		Snap:        p.takeSnapshot(),
-		CompletedAt: pendingCycle,
-	}
+	rec := p.newRec()
+	rec.OpenedEpoch = p.curEpoch + 1
+	rec.Snap = p.takeSnapshot()
+	rec.CompletedAt = pendingCycle
 	p.history = append(p.history, rec)
 	p.instrSinceCkpt = 0
 	return rec
@@ -111,6 +129,14 @@ func (p *Proc) pruneHistory() {
 		return
 	}
 	drop := len(p.history) - keep
+	for _, r := range p.history[:drop] {
+		if r.CompletedAt != pendingCycle {
+			// Completed records have no outstanding references; pending
+			// ones (never the case for the pruned prefix, but guarded)
+			// may still be held by in-flight scheme closures.
+			p.freeRec(r)
+		}
+	}
 	p.history = append(p.history[:0], p.history[drop:]...)
 	// Everything before the oldest retained checkpoint is dead weight.
 	p.m.Ctrl.Log().Truncate(map[int]uint64{p.id: p.history[0].OpenedEpoch})
@@ -165,7 +191,14 @@ func (p *Proc) RestoreTo(rec *CkptRec) {
 
 	// Drop undone checkpoints (any record newer than rec, including
 	// pending ones: a fault during checkpointing aborts it, §3.3.4).
+	// Completed ones return to the pool; a pending one may still be
+	// referenced by the aborted checkpoint's writeback closure (which
+	// will complete it individually), so it is only orphaned.
 	for len(p.history) > 0 && p.history[len(p.history)-1].OpenedEpoch > rec.OpenedEpoch {
+		last := p.history[len(p.history)-1]
+		if last.CompletedAt != pendingCycle {
+			p.freeRec(last)
+		}
 		p.history = p.history[:len(p.history)-1]
 	}
 	if p.depStallSince != 0 {

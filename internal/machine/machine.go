@@ -126,11 +126,32 @@ type Machine struct {
 	Procs  []*Proc
 	Scheme Scheme
 
+	// prof is the workload the processors stream from, retained so
+	// Reset can rebuild the streams in place.
+	prof *workload.Profile
+
 	totalInstr  uint64
 	targetInstr uint64
 
 	// OnTaint, if set, observes poison propagation (fault tests).
 	OnTaint func(p *Proc)
+}
+
+// SchemeSnapshotter is the optional interface a stateful Scheme
+// implements to participate in machine snapshots (snapshot.go). A
+// scheme that does not implement it is treated as stateless: always
+// quiescent, nothing to capture (machine.NullScheme).
+type SchemeSnapshotter interface {
+	// SchemeQuiescent reports whether no checkpoint/rollback operation
+	// is in flight and no continuation closure is being held — i.e. the
+	// scheme's entire behaviour-relevant state is plain data.
+	SchemeQuiescent() bool
+	// SchemeSnapshot returns an opaque copy of that data. The value is
+	// retained by the machine snapshot and handed back verbatim.
+	SchemeSnapshot() any
+	// SchemeRestore rewinds the scheme to a state captured by
+	// SchemeSnapshot on a scheme of the same type and machine shape.
+	SchemeRestore(state any)
 }
 
 // New builds a machine running prof under scheme.
@@ -151,7 +172,7 @@ func NewIn(arena *cache.Arena, cfg Config, prof *workload.Profile, scheme Scheme
 	log := mem.NewLog(st, cfg.LogBanks)
 	ctrl := mem.NewController(eng, st, memory, dram, log)
 
-	m := &Machine{Cfg: cfg, Eng: eng, St: st, Topo: tp, Ctrl: ctrl, Scheme: scheme}
+	m := &Machine{Cfg: cfg, Eng: eng, St: st, Topo: tp, Ctrl: ctrl, Scheme: scheme, prof: prof}
 	nodes := make([]coherence.Node, cfg.NProcs)
 	m.Procs = make([]*Proc, cfg.NProcs)
 	for i := 0; i < cfg.NProcs; i++ {

@@ -145,6 +145,27 @@ type Proc struct {
 	restoreGen uint64
 	// openPending guards against overlapping OpenNextEpoch calls.
 	openPending bool
+
+	// recFree pools dead CkptRec objects so the per-checkpoint record
+	// allocation disappears once a machine is recycled across trials
+	// (snapshot restore / Reset return every record here).
+	recFree []*CkptRec
+}
+
+// Event tags (sim.Tag kinds) for the closures a processor keeps in the
+// event queue at a quiescent point. Tagged events are pure functions of
+// restorable processor state, which is what lets a machine snapshot
+// save the pending queue as data (see snapshot.go).
+const (
+	tagStep uint8 = iota + 1
+	tagDrain
+)
+
+// procRNGSeed derives processor id's private RNG seed from the machine
+// seed (shared by newProc and Proc.reset so a Reset machine replays the
+// same streams as a fresh build).
+func procRNGSeed(machineSeed uint64, id int) uint64 {
+	return machineSeed*0x5851f42d4c957f2d + uint64(id) + 1
 }
 
 func newProc(m *Machine, id int, prof *workload.Profile, arena *cache.Arena) *Proc {
@@ -156,7 +177,7 @@ func newProc(m *Machine, id int, prof *workload.Profile, arena *cache.Arena) *Pr
 		l2:     cache.NewIn(arena, cfg.L2Size, cfg.L2Ways, cfg.LineBytes),
 		deps:   dep.NewTracker(cfg.DepSets, cfg.WSIGBits, cfg.WSIGHashes),
 		stream: workload.NewStream(prof, id, cfg.NProcs, cfg.Seed),
-		rng:    *sim.NewRNG(cfg.Seed*0x5851f42d4c957f2d + uint64(id) + 1),
+		rng:    *sim.NewRNG(procRNGSeed(cfg.Seed, id)),
 	}
 	p.stepFn = p.step
 	p.drainStepFn = p.drainStep
@@ -206,7 +227,7 @@ func (p *Proc) scheduleStep(delay sim.Cycle) {
 		return
 	}
 	p.stepScheduled = true
-	p.m.Eng.Schedule(delay, p.stepFn)
+	p.m.Eng.ScheduleTagged(delay, sim.Tag{Kind: tagStep, ID: int32(p.id)}, p.stepFn)
 }
 
 func (p *Proc) step() {

@@ -72,7 +72,11 @@ func (p *Proc) StartDrain(done func()) {
 		return
 	}
 	p.draining = true
-	p.m.Eng.Schedule(1, p.drainStepFn)
+	p.scheduleDrain(1)
+}
+
+func (p *Proc) scheduleDrain(delay sim.Cycle) {
+	p.m.Eng.ScheduleTagged(delay, sim.Tag{Kind: tagDrain, ID: int32(p.id)}, p.drainStepFn)
 }
 
 // RushDrain accelerates an in-progress drain to full channel speed
@@ -115,7 +119,7 @@ func (p *Proc) drainStep() {
 				next += depth / 2
 			}
 		}
-		p.m.Eng.Schedule(next+1, p.drainStepFn)
+		p.scheduleDrain(next + 1)
 		return
 	}
 	p.draining = false

@@ -117,3 +117,30 @@ func (d *DRAM) QueueDepth(line uint64) sim.Cycle {
 
 // Channels returns the channel count.
 func (d *DRAM) Channels() int { return len(d.readFree) }
+
+// DRAMSnapshot is the saved channel state.
+type DRAMSnapshot struct {
+	ReadFree []sim.Cycle
+	WBFree   []sim.Cycle
+}
+
+// Save copies the channel state into s.
+func (d *DRAM) Save(s *DRAMSnapshot) {
+	s.ReadFree = append(s.ReadFree[:0], d.readFree...)
+	s.WBFree = append(s.WBFree[:0], d.wbFree...)
+}
+
+// Load restores the channel state from s.
+func (d *DRAM) Load(s *DRAMSnapshot) {
+	if len(s.ReadFree) != len(d.readFree) {
+		panic("mem: DRAM snapshot channel-count mismatch")
+	}
+	copy(d.readFree, s.ReadFree)
+	copy(d.wbFree, s.WBFree)
+}
+
+// Reset idles every channel (Machine.Reset).
+func (d *DRAM) Reset() {
+	clear(d.readFree)
+	clear(d.wbFree)
+}

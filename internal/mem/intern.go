@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // LineTable interns line addresses into small dense IDs. One table is
 // shared per machine by the memory, the undo log and the coherence
 // directory, so the per-line state of all three lives in flat slices
@@ -39,3 +41,28 @@ func (t *LineTable) Addr(id int32) uint64 { return t.addrs[id] }
 
 // Len returns the number of interned addresses.
 func (t *LineTable) Len() int { return len(t.addrs) }
+
+// Addrs returns the interned addresses in ID order. Shared storage:
+// callers must not mutate or retain across interning.
+func (t *LineTable) Addrs() []uint64 { return t.addrs }
+
+// AdoptPrefix makes the table's first len(addrs) IDs map exactly the
+// given addresses, interning any the table does not know yet. It errors
+// if an existing ID already maps a different address — the caller is
+// restoring a snapshot into a machine with an incompatible interning
+// history. A table longer than addrs is fine: IDs are append-only, so
+// the captured prefix is still intact.
+func (t *LineTable) AdoptPrefix(addrs []uint64) error {
+	n := len(t.addrs)
+	for i, a := range addrs {
+		if i < n {
+			if t.addrs[i] != a {
+				return fmt.Errorf("mem: line table id %d maps %#x, snapshot expects %#x", i, t.addrs[i], a)
+			}
+			continue
+		}
+		t.ids[a] = int32(i)
+		t.addrs = append(t.addrs, a)
+	}
+	return nil
+}

@@ -254,6 +254,86 @@ func (l *Log) Truncate(safe map[int]uint64) int {
 	return dropped
 }
 
+// LogSnapshot is a saved log image: per-processor entry lists, the
+// first-writeback keys and the epoch floors. Save reuses its storage.
+type LogSnapshot struct {
+	perPID    [][]Entry
+	lastKey   []logKey
+	minEpoch  []uint64
+	total     int
+	nextSeq   uint64
+	sinceStub uint64
+	alwaysLog bool
+}
+
+// Save copies the log state into s.
+func (l *Log) Save(s *LogSnapshot) {
+	if cap(s.perPID) < len(l.perPID) {
+		old := s.perPID
+		s.perPID = make([][]Entry, len(l.perPID))
+		copy(s.perPID, old)
+	} else {
+		s.perPID = s.perPID[:len(l.perPID)]
+	}
+	for pid := range l.perPID {
+		if cap(s.perPID[pid]) < len(l.perPID[pid]) {
+			s.perPID[pid] = make([]Entry, len(l.perPID[pid]))
+		} else {
+			s.perPID[pid] = s.perPID[pid][:len(l.perPID[pid])]
+		}
+		copy(s.perPID[pid], l.perPID[pid])
+	}
+	s.lastKey = append(s.lastKey[:0], l.lastKey...)
+	s.minEpoch = append(s.minEpoch[:0], l.minEpoch...)
+	s.total, s.nextSeq, s.sinceStub = l.total, l.nextSeq, l.sinceStub
+	s.alwaysLog = l.AlwaysLog
+}
+
+// Load restores the log from s. Per-processor lists and first-writeback
+// keys that grew past the capture are reset to their untouched defaults
+// (empty list / no-entry key), matching what a fresh build would hold;
+// a colder log (restore into a machine that never ran) grows to the
+// captured shape.
+func (l *Log) Load(s *LogSnapshot) {
+	l.growPID(len(s.perPID) - 1)
+	for len(l.lastKey) < len(s.lastKey) {
+		l.lastKey = append(l.lastKey, logKey{pid: -1})
+	}
+	for pid := range l.perPID {
+		if pid < len(s.perPID) {
+			l.perPID[pid] = append(l.perPID[pid][:0], s.perPID[pid]...)
+			l.minEpoch[pid] = s.minEpoch[pid]
+		} else {
+			l.perPID[pid] = l.perPID[pid][:0]
+			l.minEpoch[pid] = noEntries
+		}
+	}
+	copy(l.lastKey, s.lastKey)
+	for i := len(s.lastKey); i < len(l.lastKey); i++ {
+		l.lastKey[i] = logKey{pid: -1}
+	}
+	l.total, l.nextSeq, l.sinceStub = s.total, s.nextSeq, s.sinceStub
+	// AlwaysLog is part of the captured behaviour: a snapshot of a
+	// log-ablation machine restored into a default-built one (the
+	// cross-machine restore path) must keep logging every writeback.
+	l.AlwaysLog = s.alwaysLog
+}
+
+// Reset empties the log in place, for Machine.Reset. The shared line
+// table survives a machine reset, so the first-writeback keys keep
+// their length and revert to the no-entry value.
+func (l *Log) Reset() {
+	for pid := range l.perPID {
+		l.perPID[pid] = l.perPID[pid][:0]
+		l.minEpoch[pid] = noEntries
+	}
+	for i := range l.lastKey {
+		l.lastKey[i] = logKey{pid: -1}
+	}
+	l.total, l.nextSeq, l.sinceStub = 0, 0, 0
+	l.AlwaysLog = false
+}
+
 // EntriesFor returns (for tests and debugging) the live entries of one
 // processor in ascending seq order.
 func (l *Log) EntriesFor(pid int) []Entry {

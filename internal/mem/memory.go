@@ -102,12 +102,62 @@ func (m *Memory) Snapshot() map[uint64]Word {
 	return s
 }
 
-// AnyPoison returns one poisoned line address if any line is poisoned.
+// AnyPoison returns the smallest poisoned line address if any line is
+// poisoned. Scanning for the minimum (rather than the first in interned
+// order) keeps the answer independent of line-table history, so a
+// machine restored from a snapshot — whose table may hold extra lines
+// interned by earlier trials — reports the same line a fresh build
+// would.
 func (m *Memory) AnyPoison() (uint64, bool) {
+	var min uint64
+	found := false
 	for id, w := range m.words {
-		if w.Poison {
-			return m.tab.Addr(int32(id)), true
+		if !w.Poison {
+			continue
+		}
+		if a := m.tab.Addr(int32(id)); !found || a < min {
+			min, found = a, true
 		}
 	}
-	return 0, false
+	return min, found
+}
+
+// MemorySnapshot is a saved memory image. Save reuses its storage.
+type MemorySnapshot struct {
+	Words   []Word
+	Nonzero int
+}
+
+// Save copies the memory contents into s.
+func (m *Memory) Save(s *MemorySnapshot) {
+	if cap(s.Words) < len(m.words) {
+		s.Words = make([]Word, len(m.words))
+	} else {
+		s.Words = s.Words[:len(m.words)]
+	}
+	copy(s.Words, m.words)
+	s.Nonzero = m.nonzero
+}
+
+// Load restores the memory from s, adopting the captured length
+// exactly: a longer live slice shrinks (lines interned after the
+// capture read as zero again, as in a fresh build — WriteID growth
+// appends zero words), a colder one grows.
+func (m *Memory) Load(s *MemorySnapshot) {
+	if cap(m.words) < len(s.Words) {
+		m.words = make([]Word, len(s.Words))
+	} else {
+		m.words = m.words[:len(s.Words)]
+	}
+	copy(m.words, s.Words)
+	m.nonzero = s.Nonzero
+}
+
+// Reset zeroes the memory in place. The shared line table is kept —
+// interned IDs are behaviourally invisible (see Machine.Reset) and
+// re-interning a workload's whole footprint was the expensive part of
+// recycling a machine.
+func (m *Memory) Reset() {
+	clear(m.words)
+	m.nonzero = 0
 }

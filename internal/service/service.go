@@ -8,7 +8,9 @@
 // Endpoints:
 //
 //	POST /v1/runs             one Spec; returns the full result record
-//	GET  /v1/runs/{key}       fetch a stored record by content address
+//	GET  /v1/runs/{key}       the stored record bytes by content address
+//	                          (served zero-copy; ETag = key, 304 on
+//	                          If-None-Match revalidation)
 //	POST /v1/sweeps           a named figure (e.g. "fig6.2") or Spec list
 //	POST /v1/campaigns        start/resume a fault campaign (async)
 //	GET  /v1/campaigns/{key}  campaign progress, or the finished Report
@@ -30,6 +32,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -423,9 +426,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleGetRun serves a stored record as its content-addressed bytes,
+// straight from the store (store.GetRaw): no decode, no re-marshal, no
+// copy. Records are immutable and the key IS the content address, so
+// the key doubles as a permanently-valid ETag — a client that revalidates
+// gets 304 without the body. The body is the bare record JSON (the
+// RunResponse envelope adds nothing a by-key fetch does not know).
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	rec, ok, err := s.cfg.Store.Get(key)
+	data, ok, err := s.cfg.Store.GetRaw(key)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -434,7 +443,17 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no result stored under %q", key))
 		return
 	}
-	writeJSON(w, http.StatusOK, RunResponse{Key: key, Cached: true, Record: rec})
+	etag := `"` + key + `"`
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Content-Type", "application/json")
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {

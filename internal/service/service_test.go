@@ -83,13 +83,47 @@ func TestEndToEndRunFetchRepeat(t *testing.T) {
 		t.Fatalf("first run should simulate: %+v", first)
 	}
 
-	// Fetch by key.
-	var fetched RunResponse
-	if code, body := do(t, c, "GET", ts.URL+"/v1/runs/"+first.Key, nil, &fetched); code != 200 {
-		t.Fatalf("fetch: %d %s", code, body)
+	// Fetch by key: the response is the stored record's bytes served
+	// zero-copy, with the content address as a permanent ETag.
+	var fetched store.Record
+	greq, err := http.NewRequest("GET", ts.URL+"/v1/runs/"+first.Key, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if fetched.Record.Stats.Snapshot() != first.Record.Stats.Snapshot() {
+	gresp, err := c.Do(greq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gresp.StatusCode != 200 {
+		t.Fatalf("fetch: %d", gresp.StatusCode)
+	}
+	etag := gresp.Header.Get("ETag")
+	if want := `"` + first.Key + `"`; etag != want {
+		t.Fatalf("ETag = %q, want %q", etag, want)
+	}
+	if gresp.Header.Get("Content-Length") == "" {
+		t.Fatal("fetch response carries no Content-Length")
+	}
+	if err := json.NewDecoder(gresp.Body).Decode(&fetched); err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if fetched.Stats.Snapshot() != first.Record.Stats.Snapshot() {
 		t.Fatal("fetched record differs from the run response")
+	}
+	// Conditional revalidation by ETag is a 304 without the body.
+	greq, err = http.NewRequest("GET", ts.URL+"/v1/runs/"+first.Key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greq.Header.Set("If-None-Match", etag)
+	gresp, err = c.Do(greq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation: %d, want 304", gresp.StatusCode)
 	}
 
 	// Repeat hits the cache.

@@ -245,6 +245,52 @@ func (p *Paired) CopyFrom(src Signature) {
 	p.exact.CopyFrom(s.exact)
 }
 
+// PairedSnapshot is a saved Paired image: both members' contents plus
+// the cumulative accounting counters (which Clear preserves and a
+// machine snapshot therefore must capture). Save reuses its storage.
+type PairedSnapshot struct {
+	Bloom          []uint64
+	Slots          []uint64
+	N              int
+	HasZero        bool
+	Tests          uint64
+	FalsePositives uint64
+}
+
+// Save copies the signature state into s.
+func (p *Paired) Save(s *PairedSnapshot) {
+	s.Bloom = append(s.Bloom[:0], p.Bloom.bitsArr...)
+	s.Slots = append(s.Slots[:0], p.exact.slots...)
+	s.N, s.HasZero = p.exact.n, p.exact.hasZero
+	s.Tests, s.FalsePositives = p.Tests, p.FalsePositives
+}
+
+// Load restores the signature state from s. The Bloom geometry must
+// match the capture; the exact set's slot array adopts the captured
+// length (capacity differences between machines are invisible to
+// membership semantics).
+func (p *Paired) Load(s *PairedSnapshot) {
+	if len(s.Bloom) != len(p.Bloom.bitsArr) {
+		panic("sig: snapshot Bloom geometry mismatch")
+	}
+	copy(p.Bloom.bitsArr, s.Bloom)
+	if cap(p.exact.slots) < len(s.Slots) {
+		p.exact.slots = make([]uint64, len(s.Slots))
+	} else {
+		p.exact.slots = p.exact.slots[:len(s.Slots)]
+	}
+	copy(p.exact.slots, s.Slots)
+	p.exact.n, p.exact.hasZero = s.N, s.HasZero
+	p.Tests, p.FalsePositives = s.Tests, s.FalsePositives
+}
+
+// ResetAll clears contents AND the cumulative counters, returning the
+// signature to its just-constructed state (Machine.Reset).
+func (p *Paired) ResetAll() {
+	p.Clear()
+	p.Tests, p.FalsePositives = 0, 0
+}
+
 var (
 	_ Signature = (*Bloom)(nil)
 	_ Signature = (*Exact)(nil)

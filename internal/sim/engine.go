@@ -8,9 +8,28 @@ package sim
 // paper's configuration, so 1 cycle = 1 ns).
 type Cycle = uint64
 
+// Tag identifies what a scheduled event will do, as data: a small kind
+// plus an index (typically a processor id). Tagged events are the
+// foundation of machine snapshots — a pending tagged event can be saved
+// as (at, seq, tag) and re-bound to a fresh closure on restore, whereas
+// an untagged event is an opaque closure that cannot outlive its
+// capture environment. The zero Tag marks an untagged event.
+type Tag struct {
+	Kind uint8
+	ID   int32
+}
+
+// SavedEvent is the snapshot form of one pending tagged event.
+type SavedEvent struct {
+	At  Cycle
+	Seq uint64
+	Tag Tag
+}
+
 type event struct {
 	at  Cycle
 	seq uint64
+	tag Tag
 	fn  func()
 }
 
@@ -34,6 +53,9 @@ type Engine struct {
 	seq     uint64
 	heap    []event
 	stopped bool
+	// untagged counts pending events with a zero Tag; a snapshot is only
+	// possible when it is zero (every pending event re-bindable).
+	untagged int
 }
 
 // NewEngine returns an engine at cycle 0.
@@ -62,6 +84,9 @@ func (e *Engine) push(ev event) {
 func (e *Engine) pop() event {
 	h := e.heap
 	top := h[0]
+	if top.tag == (Tag{}) {
+		e.untagged--
+	}
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = event{} // release the fn reference
@@ -91,7 +116,64 @@ func (e *Engine) pop() event {
 // for the same cycle fire in scheduling order.
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.seq++
+	e.untagged++
 	e.push(event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleTagged is Schedule for an event whose behaviour is fully
+// determined by its tag plus restorable simulator state: a machine
+// snapshot saves it as data and a restore re-binds its closure from the
+// tag. tag must be non-zero — a zero tag would corrupt the untagged
+// counter that gates snapshot safety, so it panics instead.
+func (e *Engine) ScheduleTagged(delay Cycle, tag Tag, fn func()) {
+	if tag == (Tag{}) {
+		panic("sim: ScheduleTagged with a zero tag (use Schedule)")
+	}
+	e.seq++
+	e.push(event{at: e.now + delay, seq: e.seq, tag: tag, fn: fn})
+}
+
+// AllTagged reports whether every pending event carries a tag, i.e.
+// whether the queue is snapshotable.
+func (e *Engine) AllTagged() bool { return e.untagged == 0 }
+
+// Save captures the scheduler state — current cycle, sequence counter
+// and the pending events in heap-array order — appending the events to
+// buf[:0]. It fails (ok=false) when any pending event is untagged.
+func (e *Engine) Save(buf []SavedEvent) (now Cycle, seq uint64, events []SavedEvent, ok bool) {
+	if e.untagged != 0 {
+		return 0, 0, buf[:0], false
+	}
+	buf = buf[:0]
+	for _, ev := range e.heap {
+		buf = append(buf, SavedEvent{At: ev.at, Seq: ev.seq, Tag: ev.Tag()})
+	}
+	return e.now, e.seq, buf, true
+}
+
+// Tag returns the event's tag (helper for Save).
+func (ev event) Tag() Tag { return ev.tag }
+
+// Load restores scheduler state captured by Save: the clock, the
+// sequence counter and the pending queue, with each event's closure
+// re-bound through resolve. events must be in the heap-array order Save
+// produced (any heap-valid order works; Save's order trivially is).
+func (e *Engine) Load(now Cycle, seq uint64, events []SavedEvent, resolve func(Tag) func()) {
+	e.now, e.seq, e.stopped, e.untagged = now, seq, false, 0
+	clear(e.heap) // release stale fn references
+	e.heap = e.heap[:0]
+	for _, sv := range events {
+		e.heap = append(e.heap, event{at: sv.At, seq: sv.Seq, tag: sv.Tag, fn: resolve(sv.Tag)})
+	}
+}
+
+// Reset returns the engine to its just-constructed state: cycle 0,
+// empty queue. Used by Machine.Reset to recycle a machine's allocations
+// across runs.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.stopped, e.untagged = 0, 0, false, 0
+	clear(e.heap)
+	e.heap = e.heap[:0]
 }
 
 // At runs fn at the given absolute cycle, which must not be in the past.

@@ -136,6 +136,57 @@ func (s *Stats) Snapshot() string {
 	return fmt.Sprintf("%+v", *s)
 }
 
+// CopyInto deep-copies every counter and record of s into dst, reusing
+// dst's slice storage. dst must be sized for the same processor count.
+// It is the capture/restore primitive of the machine snapshot engine:
+// the same Stats object stays wired into every simulator component, and
+// its contents are rolled back in place.
+func (s *Stats) CopyInto(dst *Stats) {
+	if dst.NProcs != s.NProcs {
+		panic("stats: CopyInto across different processor counts")
+	}
+	// Whole-struct assignment first, so every scalar — including fields
+	// added after this function was written — is covered automatically,
+	// matching the property Snapshot() gets from %+v. Then the slice
+	// headers are repointed back at dst's storage and deep-copied.
+	instr, memOps := dst.Instructions, dst.MemOps
+	wbd, wbi, syn, roll := dst.WBDelay, dst.WBImbalance, dst.SyncDelay, dst.RollStall
+	ckpts, rolls := dst.Checkpoints, dst.Rollbacks
+	*dst = *s
+	perProc := func(d *[]uint64, buf, src []uint64) { *d = append(buf[:0], src...) }
+	perProc(&dst.Instructions, instr, s.Instructions)
+	perProc(&dst.MemOps, memOps, s.MemOps)
+	perProc(&dst.WBDelay, wbd, s.WBDelay)
+	perProc(&dst.WBImbalance, wbi, s.WBImbalance)
+	perProc(&dst.SyncDelay, syn, s.SyncDelay)
+	perProc(&dst.RollStall, roll, s.RollStall)
+	dst.Checkpoints = append(ckpts[:0], s.Checkpoints...)
+	dst.Rollbacks = append(rolls[:0], s.Rollbacks...)
+	for i := range dst.Rollbacks {
+		// Members must not be shared: the source records stay live.
+		dst.Rollbacks[i].Members = append([]int(nil), s.Rollbacks[i].Members...)
+	}
+}
+
+// Reset zeroes every counter and record in place (Machine.Reset),
+// keeping slice storage.
+func (s *Stats) Reset() {
+	n := s.NProcs
+	zero := func(xs []uint64) { clear(xs) }
+	zero(s.Instructions)
+	zero(s.MemOps)
+	zero(s.WBDelay)
+	zero(s.WBImbalance)
+	zero(s.SyncDelay)
+	zero(s.RollStall)
+	ckpts, rolls := s.Checkpoints[:0], s.Rollbacks[:0]
+	*s = Stats{NProcs: n,
+		Instructions: s.Instructions, MemOps: s.MemOps,
+		WBDelay: s.WBDelay, WBImbalance: s.WBImbalance,
+		SyncDelay: s.SyncDelay, RollStall: s.RollStall,
+		Checkpoints: ckpts, Rollbacks: rolls}
+}
+
 // TotalInstructions sums instructions across cores.
 func (s *Stats) TotalInstructions() uint64 {
 	var t uint64

@@ -19,28 +19,35 @@ type lruCache struct {
 type lruEntry struct {
 	key string
 	rec *Record
+	// raw is the record's canonical on-disk JSON, kept alongside the
+	// decoded form so the service can answer a GET with the stored
+	// bytes directly (zero re-marshal, zero copy). Immutable.
+	raw []byte
 }
 
 func newLRU(capacity int) *lruCache {
 	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
 }
 
-func (c *lruCache) get(key string) (*Record, bool) {
+func (c *lruCache) get(key string) (*Record, []byte, bool) {
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).rec, true
+	e := el.Value.(*lruEntry)
+	return e.rec, e.raw, true
 }
 
-func (c *lruCache) put(key string, rec *Record) {
+func (c *lruCache) put(key string, rec *Record, raw []byte) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).rec = rec
+		e := el.Value.(*lruEntry)
+		e.rec = rec
+		e.raw = raw
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, rec: rec})
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, rec: rec, raw: raw})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

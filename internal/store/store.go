@@ -190,16 +190,31 @@ func (s *Store) path(key string) string {
 // These invariants are exercised under -race by
 // TestStoreEvictionRaceStress.
 func (s *Store) Get(key string) (rec *Record, ok bool, err error) {
+	rec, _, ok, err = s.get(key)
+	return rec, ok, err
+}
+
+// GetRaw returns the canonical stored bytes of the record under key —
+// exactly what Put wrote to disk — without re-marshalling. The bytes
+// are shared with the in-memory cache and must be treated as
+// immutable. This is the zero-copy path underneath the service's
+// GET /v1/runs/{key}.
+func (s *Store) GetRaw(key string) (data []byte, ok bool, err error) {
+	_, data, ok, err = s.get(key)
+	return data, ok, err
+}
+
+func (s *Store) get(key string) (rec *Record, raw []byte, ok bool, err error) {
 	s.mu.Lock()
-	if rec, ok := s.lru.get(key); ok {
+	if rec, raw, ok := s.lru.get(key); ok {
 		s.hits++
 		s.mu.Unlock()
-		return rec, true, nil
+		return rec, raw, true, nil
 	}
 	if !s.known[key] {
 		s.misses++
 		s.mu.Unlock()
-		return nil, false, nil
+		return nil, nil, false, nil
 	}
 	s.mu.Unlock()
 
@@ -210,23 +225,23 @@ func (s *Store) Get(key string) (rec *Record, ok bool, err error) {
 		delete(s.known, key)
 		s.misses++
 		s.mu.Unlock()
-		return nil, false, nil
+		return nil, nil, false, nil
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("store: %w", err)
+		return nil, nil, false, fmt.Errorf("store: %w", err)
 	}
 	rec = new(Record)
 	if err := json.Unmarshal(data, rec); err != nil {
-		return nil, false, fmt.Errorf("store: record %s: %w", key, err)
+		return nil, nil, false, fmt.Errorf("store: record %s: %w", key, err)
 	}
 	if err := rec.verify(); err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	s.mu.Lock()
 	s.hits++
-	s.lru.put(key, rec)
+	s.lru.put(key, rec, data)
 	s.mu.Unlock()
-	return rec, true, nil
+	return rec, data, true, nil
 }
 
 // GetSpec is Get keyed by a spec.
@@ -264,7 +279,7 @@ func (s *Store) Put(rec *Record) error {
 	}
 	s.mu.Lock()
 	s.known[rec.Key] = true
-	s.lru.put(rec.Key, rec)
+	s.lru.put(rec.Key, rec, data)
 	s.mu.Unlock()
 	return nil
 }
