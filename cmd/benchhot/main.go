@@ -13,6 +13,12 @@
 //
 //	go run ./cmd/benchhot -check -baseline BENCH_hotpath.json \
 //	    -max-regress 0.20 -out bench_current.json
+//
+// -check also enforces the parallel-scaling gate: on a runner with at
+// least 4 cores, CampaignTrialParallel must reach 2x CampaignTrial's
+// throughput in the same run without exceeding its allocs/op (the
+// fork-engine contract; see internal/campaign.TrialRunner). Narrower
+// runners warn and skip — they cannot express the requirement.
 package main
 
 import (
@@ -227,6 +233,57 @@ func check(fresh, baseline []Entry, maxRegress, maxAllocGrowth float64) error {
 	return nil
 }
 
+// The scaling gate: the whole point of the fork engine is that trial
+// throughput scales with cores instead of staying flat (N warmups used
+// to eat the parallelism). At scalingMinWidth cores or more the
+// parallel campaign benchmark must clear scalingFloor times the serial
+// one's throughput, and its allocs/op must not exceed the serial
+// path's — forking must not add per-trial allocations.
+const (
+	scalingMinWidth = 4
+	scalingFloor    = 2.0
+)
+
+// checkScaling gates CampaignTrialParallel against CampaignTrial from
+// the SAME measurement run (fresh vs fresh, so it is machine-
+// independent, unlike the ops/sec ratchet). Below scalingMinWidth
+// cores the gate warns and skips: a 1- or 2-core runner cannot express
+// a 2x scaling requirement.
+func checkScaling(fresh []Entry) error {
+	var serial, parallel *Entry
+	for i := range fresh {
+		switch fresh[i].Name {
+		case "CampaignTrial":
+			serial = &fresh[i]
+		case "CampaignTrialParallel":
+			parallel = &fresh[i]
+		}
+	}
+	if serial == nil || parallel == nil {
+		return nil // filtered run; nothing to compare
+	}
+	if parallel.GOMAXPROCS < scalingMinWidth {
+		fmt.Fprintf(os.Stderr,
+			"benchhot: scaling gate skipped: parallel width %d < %d cores\n",
+			parallel.GOMAXPROCS, scalingMinWidth)
+		return nil
+	}
+	speedup := parallel.OpsPerSec / serial.OpsPerSec
+	fmt.Fprintf(os.Stderr,
+		"benchhot: gate scaling: parallel %.0f vs serial %.0f ops/sec = %.2fx at gomaxprocs=%d (floor %.1fx), %d vs %d allocs/op\n",
+		parallel.OpsPerSec, serial.OpsPerSec, speedup, parallel.GOMAXPROCS,
+		scalingFloor, parallel.AllocsPerOp, serial.AllocsPerOp)
+	if speedup < scalingFloor {
+		return fmt.Errorf("parallel campaign throughput %.2fx serial at %d cores, want >=%.1fx (flat scaling regression)",
+			speedup, parallel.GOMAXPROCS, scalingFloor)
+	}
+	if parallel.AllocsPerOp > serial.AllocsPerOp {
+		return fmt.Errorf("parallel trial allocates more than serial (%d vs %d allocs/op): forking added per-trial allocations",
+			parallel.AllocsPerOp, serial.AllocsPerOp)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		label      = flag.String("label", "current", "label to record measurements under")
@@ -272,7 +329,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchhot: %v\n", err)
 			os.Exit(1)
 		}
-		err = check(fresh, base, *maxRegress, *maxAllocs)
+		gate := func() error {
+			if err := check(fresh, base, *maxRegress, *maxAllocs); err != nil {
+				return err
+			}
+			return checkScaling(fresh)
+		}
+		err = gate()
 		if err != nil {
 			// Best-of-two: a single testing.Benchmark sample on a noisy
 			// shared runner can dip below the floor without any code
@@ -292,7 +355,7 @@ func main() {
 				}
 				fresh[i].AllocsPerOp = worstAllocs
 			}
-			err = check(fresh, base, *maxRegress, *maxAllocs)
+			err = gate()
 		}
 		if err != nil {
 			emit() // record the failing numbers too: red runs are data

@@ -5,6 +5,14 @@
 // addressed on-disk store, so identical requests — including after a
 // restart — are answered without re-simulating.
 //
+// Fault campaigns (/v1/campaigns) persist more than their results: the
+// warmed machine snapshot every trial forks from is serialized into
+// the store's "snapshots" namespace. A restarted daemon therefore
+// cold-starts a resumed campaign with ONE store read — no build, no
+// re-warm — and the restored trials are byte-identical to the warmed
+// path (the snapshot record is self-verifying; a corrupt one is
+// re-warmed and overwritten, never restored).
+//
 //	reboundd -scale quick                      # serve on :8091
 //	reboundd -addr :9000 -store /var/lib/rebound -workers 8
 //

@@ -23,8 +23,11 @@
 //     scale with sweeps. The warmup is paid once outside the timer,
 //     exactly as the campaign engine amortizes it.
 //   - CampaignTrialParallel: CampaignTrial fanned across all CPUs at
-//     GOMAXPROCS=NumCPU — the parallel-scaling row of the trajectory
-//     (every other row is recorded at the process default).
+//     GOMAXPROCS=NumCPU, all workers forked (copy-on-write) from ONE
+//     shared warm snapshot — the parallel-scaling row of the
+//     trajectory (every other row is recorded at the process
+//     default). cmd/benchhot's -check gates this row at >=2x the
+//     serial row on runners with >=4 cores.
 package benchhot
 
 import (
@@ -121,21 +124,36 @@ func CampaignTrial(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	assertForkEconomics(b, tr)
+}
+
+// assertForkEconomics fails the benchmark if the runner silently fell
+// back to per-trial build+warm: a fallback still produces correct
+// trials, so only the counters expose it — and a fallback row recorded
+// into the trajectory would gate future PRs against garbage numbers.
+func assertForkEconomics(b *testing.B, tr *campaign.TrialRunner) {
+	b.Helper()
+	if wu, _, _, fr := tr.Counters(); wu != 1 || fr != 0 {
+		b.Fatalf("snapshot engine fell back: warmups=%d fresh=%d, want 1 warmup and 0 fresh builds", wu, fr)
+	}
 }
 
 // CampaignTrialParallel is CampaignTrial across all CPUs: trials fan
-// out over per-goroutine warmed machines at GOMAXPROCS=NumCPU,
-// measuring how trial throughput scales with cores (the rest of the
-// trajectory is recorded at the process's default GOMAXPROCS, which CI
-// pins to 1 for stability).
+// out over worker machines forked (copy-on-write) from one shared warm
+// snapshot at GOMAXPROCS=NumCPU, measuring how trial throughput scales
+// with cores (the rest of the trajectory is recorded at the process's
+// default GOMAXPROCS, which CI pins to 1 for stability). The gate on
+// this row is cmd/benchhot's scaling check: >=2x the serial row at >=4
+// cores, at no more allocs/op than serial.
 func CampaignTrialParallel(b *testing.B) {
 	prev := runtime.GOMAXPROCS(runtime.NumCPU())
 	defer runtime.GOMAXPROCS(prev)
 	spec := CampaignTrialSpec()
 	tr := campaign.NewTrialRunner(spec)
-	// Pre-warm one machine per CPU outside the timer: each goroutine's
-	// first acquire would otherwise pay a full build+warm inside the
-	// measured region and skew the recorded scaling row.
+	// Pre-warm the fork pool outside the timer: one build+warm, then
+	// one copy-on-write fork per CPU. Each goroutine's first acquire
+	// would otherwise pay its fork inside the measured region and skew
+	// the recorded scaling row.
 	if err := tr.Prewarm(runtime.NumCPU()); err != nil {
 		b.Fatal(err)
 	}
@@ -164,6 +182,7 @@ func CampaignTrialParallel(b *testing.B) {
 	if msg := firstErr.Load(); msg != nil {
 		b.Fatal(msg)
 	}
+	assertForkEconomics(b, tr)
 }
 
 // ServicePath benchmarks the service request path: POST /v1/runs

@@ -4,6 +4,7 @@
 package bitset
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -176,6 +177,24 @@ func (b *Bitset) Intersects(o *Bitset) bool {
 		}
 	}
 	return false
+}
+
+// MarshalJSON encodes the set as its word array, so bitsets embedded in
+// snapshot images (dep register sets) survive the persistent-snapshot
+// round trip with their exact storage length — Equal treats missing
+// high words as zero, but a byte-identical re-capture needs the length
+// too.
+func (b *Bitset) MarshalJSON() ([]byte, error) {
+	if b.words == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(b.words)
+}
+
+// UnmarshalJSON decodes a word array written by MarshalJSON.
+func (b *Bitset) UnmarshalJSON(data []byte) error {
+	b.words = b.words[:0]
+	return json.Unmarshal(data, &b.words)
 }
 
 // String renders the set as {1, 5, 9}.

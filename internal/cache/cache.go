@@ -8,6 +8,7 @@
 package cache
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/mem"
@@ -59,6 +60,39 @@ type Line struct {
 
 // Valid reports whether the line holds data.
 func (l *Line) Valid() bool { return l.State != Invalid }
+
+// lineImage mirrors Line for the persistent-snapshot codec. The lru
+// stamp is unexported yet behaviour-relevant — dropping it would change
+// eviction order after a snapshot round trip — so Line marshals through
+// this image instead of relying on default struct encoding.
+type lineImage struct {
+	Addr    uint64   `json:"addr"`
+	State   uint8    `json:"state"`
+	Dirty   bool     `json:"dirty,omitempty"`
+	Delayed bool     `json:"delayed,omitempty"`
+	Epoch   uint64   `json:"epoch,omitempty"`
+	Data    mem.Word `json:"data"`
+	Lru     uint64   `json:"lru,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler, preserving the lru stamp.
+func (l Line) MarshalJSON() ([]byte, error) {
+	return json.Marshal(lineImage{
+		Addr: l.Addr, State: uint8(l.State), Dirty: l.Dirty, Delayed: l.Delayed,
+		Epoch: l.Epoch, Data: l.Data, Lru: l.lru,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *Line) UnmarshalJSON(data []byte) error {
+	var im lineImage
+	if err := json.Unmarshal(data, &im); err != nil {
+		return err
+	}
+	*l = Line{Addr: im.Addr, State: State(im.State), Dirty: im.Dirty,
+		Delayed: im.Delayed, Epoch: im.Epoch, Data: im.Data, lru: im.Lru}
+	return nil
+}
 
 // Arena is a reusable backing store for cache line arrays. A simulation
 // cell allocates several hundred KB of cache lines; sweeping thousands

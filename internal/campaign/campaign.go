@@ -20,7 +20,12 @@
 // the final report into the namespace campaigns/<key> (content-
 // addressed on the campaign key), so an interrupted campaign resumes
 // from its completed trials instead of restarting, and a finished
-// campaign is served without simulating.
+// campaign is served without simulating. The warmed machine snapshot
+// every trial forks from persists too (store.PutSnapshot under
+// warmKey), so a restarted process cold-starts to its first trial with
+// one store read and zero warmups. Stored records are verified on
+// read: a torn trial write or corrupt snapshot is detected and redone,
+// never folded into a Report.
 package campaign
 
 import (
@@ -284,98 +289,200 @@ func RunTrial(spec Spec, index int, arena *cache.Arena) (Trial, error) {
 	return runPhase(m, spec, index), nil
 }
 
+// warmSemantics versions the warmup the shared snapshot captures. Bump
+// it whenever warm() changes what state the snapshot holds (budget
+// fraction, settle policy): the persistent-snapshot key embeds it, so a
+// stale stored snapshot is invalidated instead of restored.
+const warmSemantics = "warm-v1"
+
+// warmKey is the persistent-snapshot address of spec's warmed machine:
+// the codec's format version, the warmup semantics version, and the
+// full base-cell key. The full key — not just the reuse-relevant subset
+// — because the warm state depends on everything the cell does during
+// warmup, the scheme very much included.
+func warmKey(spec Spec) string {
+	return fmt.Sprintf("machine-snapshot|fmt=%d|%s|%s",
+		machine.SnapshotFormat, warmSemantics, spec.Base.Key())
+}
+
 // TrialRunner runs the trials of one campaign Spec through the machine
-// snapshot engine: each pooled machine is built and warmed once, its
-// post-warmup state captured with machine.Snapshot, and every trial
-// rewinds it with machine.Restore instead of rebuilding — the paper's
-// checkpoint/restore idea applied to the simulator itself. Trials are
-// byte-identical to RunTrial's because both share warm()/runPhase() and
-// Restore rewinds the complete machine state.
+// snapshot engine: ONE machine is built and warmed (or its warm state
+// loaded from the store), its post-warmup state captured with
+// machine.Snapshot, and every worker machine is forked from that single
+// shared snapshot — N workers cost one warmup plus N-1 copy-on-write
+// forks, not N warmups. Every trial rewinds its machine with
+// machine.Restore, which after the first restore copies back only the
+// pages the trial dirtied. Trials are byte-identical to RunTrial's
+// because both share warm()/runPhase() and Restore rewinds the complete
+// machine state.
 //
-// A TrialRunner is safe for concurrent use: the machine pool grows to
-// the number of concurrent callers. If the base cell never reaches a
+// With a store attached, the serialized snapshot persists under
+// warmKey(spec): a restarted process (reboundd cold start) reaches its
+// first trial with one store read and zero warmups.
+//
+// A TrialRunner is safe for concurrent use: the fork pool grows to the
+// number of concurrent callers. If the base cell never reaches a
 // snapshot-safe point (SettleForSnapshot gives up), Run falls back to
 // the fresh-build path — still byte-identical, since the reference
 // executor settles the same way.
 type TrialRunner struct {
 	spec Spec
+	st   *store.Store // optional persistent-snapshot cache
 
-	mu   sync.Mutex
-	free []*warmMachine
-	// snapState: 0 unknown, 1 snapshotting works, 2 unsupported.
-	snapState int
+	// init runs the single build+warm (or store load); workers arriving
+	// during it wait instead of warming their own machine.
+	init    sync.Once
+	initErr error
+	// proto is the machine the snapshot was captured on (or loaded
+	// into). It doubles as the first worker; Fork only reads its
+	// immutable shape (Config, workload profile), so forking from it is
+	// safe even while it runs trials.
+	proto    *machine.Machine
+	snap     *machine.MachineSnapshot // the one shared warm snapshot
+	snapshot bool                     // false: cell cannot snapshot, use fresh builds
+
+	mu          sync.Mutex
+	free        []*machine.Machine
+	protoIssued bool // proto has been handed out as a worker
+
+	// Counters expose the runner's economics to tests and metrics.
+	warmups atomic.Uint64 // full build+warm executions (1 per runner, 0 after a store hit)
+	loads   atomic.Uint64 // snapshots restored from the store
+	forks   atomic.Uint64 // worker machines forked from the shared snapshot
+	fresh   atomic.Uint64 // trials that fell back to the fresh-build path
 }
 
-type warmMachine struct {
-	m    *machine.Machine
-	snap machine.MachineSnapshot
+// NewTrialRunner returns a runner for spec's trials with no persistent
+// snapshot cache.
+func NewTrialRunner(spec Spec) *TrialRunner { return NewTrialRunnerStored(spec, nil) }
+
+// NewTrialRunnerStored returns a runner that loads its warm snapshot
+// from st when a valid one is stored, and persists it after warming
+// otherwise. st may be nil.
+func NewTrialRunnerStored(spec Spec, st *store.Store) *TrialRunner {
+	return &TrialRunner{spec: spec, st: st}
 }
 
-// NewTrialRunner returns a runner for spec's trials.
-func NewTrialRunner(spec Spec) *TrialRunner { return &TrialRunner{spec: spec} }
+// Counters returns the runner's economics: warmups (full build+warm
+// executions), loads (snapshots restored from the store), forks (worker
+// machines forked from the shared snapshot) and fresh (trials that fell
+// back to the fresh-build path).
+func (t *TrialRunner) Counters() (warmups, loads, forks, fresh uint64) {
+	return t.warmups.Load(), t.loads.Load(), t.forks.Load(), t.fresh.Load()
+}
 
-// acquire returns a warmed machine with its snapshot, building one if
-// the pool is empty. ok=false means snapshotting is unsupported for
-// this cell and the caller must use the fresh-build path.
-func (t *TrialRunner) acquire() (*warmMachine, bool, error) {
-	t.mu.Lock()
-	if t.snapState == 2 {
-		t.mu.Unlock()
+// initialize builds the prototype machine and produces the shared warm
+// snapshot: from the store when a valid serialized snapshot exists
+// under warmKey, by running the warmup otherwise (persisting the result
+// for the next process). Called exactly once per runner.
+func (t *TrialRunner) initialize() error {
+	m, err := harness.Build(t.spec.Base)
+	if err != nil {
+		return err
+	}
+	if t.st != nil {
+		if payload, ok, err := t.st.GetSnapshot(warmKey(t.spec)); ok && err == nil {
+			if snap, err := m.DecodeSnapshot(payload); err == nil {
+				if err := m.Restore(snap); err == nil {
+					t.loads.Add(1)
+					t.proto, t.snap, t.snapshot = m, snap, true
+					return nil
+				}
+			}
+		}
+		// A corrupt or stale stored snapshot is a miss: re-warm and
+		// overwrite it below.
+	}
+	t.warmups.Add(1)
+	if !warm(m, t.spec) {
+		t.snapshot = false
+		return nil
+	}
+	snap := new(machine.MachineSnapshot)
+	if err := m.Snapshot(snap); err != nil {
+		t.snapshot = false
+		return nil
+	}
+	t.proto, t.snap, t.snapshot = m, snap, true
+	if t.st != nil {
+		// Persist for the next process. A scheme that snapshots in
+		// memory but does not implement machine.SchemePersister simply
+		// stays memory-only; store write failures are surfaced.
+		if payload, err := m.EncodeSnapshot(snap); err == nil {
+			if err := t.st.PutSnapshot(warmKey(t.spec), payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// acquire returns a machine carrying the shared warm snapshot, forking
+// a new one if the pool is empty. ok=false means snapshotting is
+// unsupported for this cell and the caller must use the fresh-build
+// path.
+func (t *TrialRunner) acquire() (*machine.Machine, bool, error) {
+	t.init.Do(func() { t.initErr = t.initialize() })
+	if t.initErr != nil {
+		return nil, false, t.initErr
+	}
+	if !t.snapshot {
 		return nil, false, nil
 	}
+	t.mu.Lock()
 	if n := len(t.free); n > 0 {
-		wm := t.free[n-1]
+		m := t.free[n-1]
 		t.free = t.free[:n-1]
 		t.mu.Unlock()
-		return wm, true, nil
+		return m, true, nil
+	}
+	// The prototype itself serves as the first worker.
+	if !t.protoIssued {
+		t.protoIssued = true
+		t.mu.Unlock()
+		return t.proto, true, nil
 	}
 	t.mu.Unlock()
 
-	m, err := harness.Build(t.spec.Base)
+	// Fork outside the lock: Fork only reads the parent's immutable
+	// shape and the snapshot, so concurrent forks are safe and don't
+	// serialize — even against the prototype running a trial.
+	scheme, err := harness.SchemeFor(t.spec.Base.Scheme)
 	if err != nil {
 		return nil, false, err
 	}
-	wm := &warmMachine{m: m}
-	ok := warm(m, t.spec)
-	if ok {
-		ok = m.Snapshot(&wm.snap) == nil
+	m, err := t.proto.Fork(t.snap, scheme)
+	if err != nil {
+		return nil, false, err
 	}
-	t.mu.Lock()
-	if !ok {
-		t.snapState = 2
-		t.mu.Unlock()
-		return nil, false, nil
-	}
-	t.snapState = 1
-	t.mu.Unlock()
-	return wm, true, nil
+	t.forks.Add(1)
+	return m, true, nil
 }
 
-func (t *TrialRunner) release(wm *warmMachine) {
+func (t *TrialRunner) release(m *machine.Machine) {
 	t.mu.Lock()
-	t.free = append(t.free, wm)
+	t.free = append(t.free, m)
 	t.mu.Unlock()
 }
 
-// Prewarm builds and pools at least n warmed machines (fewer if the
-// cell cannot be snapshotted), so a caller about to fan n workers out
-// — or a benchmark about to start its timer — pays no build+warm
-// inside the measured/parallel region. It acquires all n before
+// Prewarm readies the runner for n concurrent workers: one warmup (or
+// one store load) produces the shared snapshot, and the pool is topped
+// up to n forked machines — never n warmups. It acquires all n before
 // releasing any, which is what guarantees n distinct machines.
 func (t *TrialRunner) Prewarm(n int) error {
-	ms := make([]*warmMachine, 0, n)
+	ms := make([]*machine.Machine, 0, n)
 	for i := 0; i < n; i++ {
-		wm, ok, err := t.acquire()
+		m, ok, err := t.acquire()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		ms = append(ms, wm)
+		ms = append(ms, m)
 	}
-	for _, wm := range ms {
-		t.release(wm)
+	for _, m := range ms {
+		t.release(m)
 	}
 	return nil
 }
@@ -391,20 +498,21 @@ func (t *TrialRunner) Run(index int) (Trial, error) { return t.RunIn(index, nil)
 // as the pre-snapshot executor did. Pooled (snapshottable) machines
 // never touch the arena — they outlive its reset.
 func (t *TrialRunner) RunIn(index int, arena *cache.Arena) (Trial, error) {
-	wm, ok, err := t.acquire()
+	m, ok, err := t.acquire()
 	if err != nil {
 		return Trial{}, err
 	}
 	if !ok {
+		t.fresh.Add(1)
 		return RunTrial(t.spec, index, arena)
 	}
-	if err := wm.m.Restore(&wm.snap); err != nil {
+	if err := m.Restore(t.snap); err != nil {
 		return Trial{}, err
 	}
-	tr := runPhase(wm.m, t.spec, index)
+	tr := runPhase(m, t.spec, index)
 	// A panicking trial abandons the machine (the caller recovers);
 	// only a completed one returns to the pool.
-	t.release(wm)
+	t.release(m)
 	return tr, nil
 }
 
@@ -613,7 +721,10 @@ func (e *Engine) run(ctx context.Context, spec Spec, serial bool) (*Report, erro
 	}
 	var trunner *TrialRunner
 	if !e.FreshBuild {
-		trunner = NewTrialRunner(spec)
+		// The runner shares the engine's store, so the warm snapshot
+		// persists across process restarts: a resumed campaign re-warms
+		// nothing, it loads the snapshot and forks.
+		trunner = NewTrialRunnerStored(spec, e.st)
 	}
 	runOne := func(i int) (err error) {
 		// Contain simulator panics the way Runner.RunOne does (a config
@@ -649,6 +760,20 @@ func (e *Engine) run(ctx context.Context, spec Spec, serial bool) (*Report, erro
 		return nil
 	}
 
+	if trunner != nil && !serial && len(missing) > 1 {
+		// Populate the fork pool before fanning out: one warmup (or one
+		// store load), then one copy-on-write fork per worker. Without
+		// this the first wave of trials still forks lazily and
+		// correctly — Prewarm just moves the fork cost out of the first
+		// measured trial of each worker.
+		n := e.runner.Workers()
+		if n > len(missing) {
+			n = len(missing)
+		}
+		if err := trunner.Prewarm(n); err != nil {
+			return nil, err
+		}
+	}
 	errs := make([]error, len(missing))
 	if serial {
 		for j, i := range missing {

@@ -29,6 +29,7 @@ import (
 	"math/bits"
 
 	"repro/internal/cache"
+	"repro/internal/cow"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -77,6 +78,13 @@ type Directory struct {
 	lwid    []int32
 	sharers []uint64
 	wpp     int
+
+	// dirty tracks entries mutated since the last Load/LoadDelta, one
+	// mark per line ID covering its owner, LW-ID and sharer words
+	// (cow.Dirty pages those into ranges). entryID growth is exempt:
+	// the appended defaults are exactly what a load resets a
+	// post-capture tail to.
+	dirty cow.Dirty
 
 	// L2HitCycles is charged for the remote L2 access on forwarded
 	// requests.
@@ -183,6 +191,7 @@ type ReadResult struct {
 // Read performs a GetS transaction for pid on line.
 func (d *Directory) Read(pid int, line uint64) ReadResult {
 	id := d.entryID(line)
+	d.dirty.Mark(int(id)) // every Read path mutates the entry
 	home := d.topo.Home(line)
 	lat := d.topo.Latency(pid, home)
 	d.st.CohMessages++ // request
@@ -260,6 +269,7 @@ type WriteResult struct {
 // Modified and inserts the line in its current WSIG.
 func (d *Directory) Write(pid int, line uint64) WriteResult {
 	id := d.entryID(line)
+	d.dirty.Mark(int(id))
 	home := d.topo.Home(line)
 	lat := d.topo.Latency(pid, home)
 	d.st.CohMessages++ // request
@@ -350,6 +360,7 @@ func (d *Directory) Write(pid int, line uint64) WriteResult {
 // cleared (§3.3.1: clearing it would lose dependence tracking).
 func (d *Directory) WritebackEvict(pid int, line uint64, data mem.Word, epoch uint64) sim.Cycle {
 	id := d.entryID(line)
+	d.dirty.Mark(int(id))
 	if d.owner[id] == int32(pid) {
 		d.owner[id] = noProc
 	}
@@ -375,6 +386,7 @@ func (d *Directory) WritebackRetain(pid int, line uint64, data mem.Word, epoch u
 // DropShared records the silent eviction of a clean shared line.
 func (d *Directory) DropShared(pid int, line uint64) {
 	if id, ok := d.tab.Lookup(line); ok && int(id) < len(d.owner) {
+		d.dirty.Mark(int(id))
 		clrBit(d.sharerWords(id), pid)
 	}
 }
@@ -383,6 +395,7 @@ func (d *Directory) DropShared(pid int, line uint64) {
 // sharer bits are dropped and LW-IDs pointing at pid are cleared. Used
 // on rollback, after pid's caches are invalidated (§3.3.5).
 func (d *Directory) DetachProc(pid int) {
+	d.dirty.MarkAll()
 	for id := range d.owner {
 		if d.owner[id] == int32(pid) {
 			d.owner[id] = noProc
@@ -432,6 +445,39 @@ func (d *Directory) Load(s *Snapshot) {
 		d.lwid[i] = noProc
 	}
 	clear(d.sharers[len(s.Sharers):])
+	d.dirty.Clear()
+}
+
+// LoadDelta restores the per-line state from s touching only the
+// entries mutated since the last load. The caller guarantees the live
+// state was last loaded from this same capture; anything else must use
+// Load. Entries past the captured size revert to the untouched
+// defaults, exactly as in Load.
+func (d *Directory) LoadDelta(s *Snapshot) {
+	n := len(s.Owner)
+	if d.dirty.All() || len(d.owner) < n {
+		d.Load(s)
+		return
+	}
+	d.dirty.Pages(len(d.owner), func(lo, hi int) {
+		end := hi
+		if end > n {
+			end = n
+		}
+		if lo < n {
+			copy(d.owner[lo:end], s.Owner[lo:end])
+			copy(d.lwid[lo:end], s.LWID[lo:end])
+			copy(d.sharers[lo*d.wpp:end*d.wpp], s.Sharers[lo*d.wpp:end*d.wpp])
+		}
+		for i := max(lo, n); i < hi; i++ {
+			d.owner[i] = noProc
+			d.lwid[i] = noProc
+		}
+		if hi > n {
+			clear(d.sharers[max(lo, n)*d.wpp : hi*d.wpp])
+		}
+	})
+	d.dirty.Clear()
 }
 
 // Reset reverts every directory entry to its untouched state in place,
@@ -443,6 +489,7 @@ func (d *Directory) Reset() {
 		d.lwid[i] = noProc
 	}
 	clear(d.sharers)
+	d.dirty.MarkAll()
 }
 
 // CheckInvariants validates the directory against the actual cache

@@ -9,6 +9,9 @@
 package core
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -248,6 +251,53 @@ func (r *Rebound) SchemeRestore(state any) {
 		ps.pausedAt = st.ps[i].pausedAt
 		ps.redetect = st.ps[i].redetect
 	}
+}
+
+// reboundStateImage is the serializable mirror of reboundState for the
+// persistent-snapshot codec (machine.SchemePersister).
+type reboundStateImage struct {
+	RNG   uint64             `json:"rng"`
+	Procs []reboundProcImage `json:"procs"`
+}
+
+type reboundProcImage struct {
+	RetryNotBefore uint64 `json:"retry_not_before"`
+	PausedAt       uint64 `json:"paused_at"`
+	Redetect       bool   `json:"redetect"`
+}
+
+// EncodeSchemeState implements machine.SchemePersister.
+func (r *Rebound) EncodeSchemeState(state any) ([]byte, error) {
+	st, ok := state.(*reboundState)
+	if !ok {
+		return nil, fmt.Errorf("core: rebound scheme state has type %T", state)
+	}
+	im := reboundStateImage{RNG: st.rng, Procs: make([]reboundProcImage, len(st.ps))}
+	for i, ps := range st.ps {
+		im.Procs[i] = reboundProcImage{
+			RetryNotBefore: uint64(ps.retryNotBefore),
+			PausedAt:       uint64(ps.pausedAt),
+			Redetect:       ps.redetect,
+		}
+	}
+	return json.Marshal(im)
+}
+
+// DecodeSchemeState implements machine.SchemePersister.
+func (r *Rebound) DecodeSchemeState(data []byte) (any, error) {
+	var im reboundStateImage
+	if err := json.Unmarshal(data, &im); err != nil {
+		return nil, fmt.Errorf("core: rebound scheme state: %w", err)
+	}
+	st := &reboundState{rng: im.RNG, ps: make([]reboundProcState, len(im.Procs))}
+	for i, ps := range im.Procs {
+		st.ps[i] = reboundProcState{
+			retryNotBefore: sim.Cycle(ps.RetryNotBefore),
+			pausedAt:       sim.Cycle(ps.PausedAt),
+			redetect:       ps.Redetect,
+		}
+	}
+	return st, nil
 }
 
 // record appends a checkpoint record and returns its index.

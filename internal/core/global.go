@@ -1,6 +1,9 @@
 package core
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -215,6 +218,31 @@ func (g *Global) SchemeRestore(state any) {
 	g.active, g.rolling = false, false
 	g.aborted, g.redetect = s.aborted, s.redetect
 	g.pendingIO = nil
+}
+
+// globalStateImage is the serializable mirror of globalState for the
+// persistent-snapshot codec (machine.SchemePersister).
+type globalStateImage struct {
+	Aborted  bool `json:"aborted"`
+	Redetect bool `json:"redetect"`
+}
+
+// EncodeSchemeState implements machine.SchemePersister.
+func (g *Global) EncodeSchemeState(state any) ([]byte, error) {
+	st, ok := state.(globalState)
+	if !ok {
+		return nil, fmt.Errorf("core: global scheme state has type %T", state)
+	}
+	return json.Marshal(globalStateImage{Aborted: st.aborted, Redetect: st.redetect})
+}
+
+// DecodeSchemeState implements machine.SchemePersister.
+func (g *Global) DecodeSchemeState(data []byte) (any, error) {
+	var im globalStateImage
+	if err := json.Unmarshal(data, &im); err != nil {
+		return nil, fmt.Errorf("core: global scheme state: %w", err)
+	}
+	return globalState{aborted: im.Aborted, redetect: im.Redetect}, nil
 }
 
 // FaultDetected implements machine.Scheme: Global recovery rolls back

@@ -177,7 +177,12 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// SchemeFor builds the named scheme.
+// SchemeFor builds the named scheme. Every call returns a FRESH
+// instance: schemes hold per-machine state (Rebound's per-processor
+// checkpoint protocol, Global's epoch bookkeeping), so two machines
+// must never share one. machine.Fork relies on this — each forked
+// worker machine is handed its own SchemeFor product, then Restore
+// loads the shared snapshot's scheme state into it.
 func SchemeFor(name string) (machine.Scheme, error) {
 	switch name {
 	case "none":

@@ -133,6 +133,12 @@ type Machine struct {
 	totalInstr  uint64
 	targetInstr uint64
 
+	// restoredFrom/restoredGen identify the (snapshot, generation) this
+	// machine last restored from; a matching Restore takes the
+	// copy-on-write delta path (snapshot.go).
+	restoredFrom *MachineSnapshot
+	restoredGen  uint64
+
 	// OnTaint, if set, observes poison propagation (fault tests).
 	OnTaint func(p *Proc)
 }
@@ -152,6 +158,19 @@ type SchemeSnapshotter interface {
 	// SchemeRestore rewinds the scheme to a state captured by
 	// SchemeSnapshot on a scheme of the same type and machine shape.
 	SchemeRestore(state any)
+}
+
+// SchemePersister is the optional extension of SchemeSnapshotter a
+// stateful scheme implements so machine snapshots can be serialized
+// (persist.go): it round-trips the opaque SchemeSnapshot value through
+// JSON. Encode receives a value produced by SchemeSnapshot on a scheme
+// of the same type; Decode must return a value SchemeRestore accepts. A
+// stateful scheme without this interface still snapshots in memory but
+// cannot be persisted to the store.
+type SchemePersister interface {
+	SchemeSnapshotter
+	EncodeSchemeState(state any) ([]byte, error)
+	DecodeSchemeState(data []byte) (any, error)
 }
 
 // New builds a machine running prof under scheme.

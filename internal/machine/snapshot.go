@@ -68,6 +68,14 @@ type MachineSnapshot struct {
 
 	// Opaque scheme state (SchemeSnapshotter), nil for stateless schemes.
 	scheme any
+
+	// gen increments on every capture into this snapshot object, so a
+	// machine that remembers which (snapshot, gen) it last restored from
+	// can take the copy-on-write delta path: the flat mem/log/directory
+	// arrays copy back only their dirty pages instead of the whole
+	// capture. Recapturing into a reused snapshot bumps gen and forces
+	// the next restore back onto the full path.
+	gen uint64
 }
 
 // procSnapshot is one processor's saved state.
@@ -181,6 +189,7 @@ func (m *Machine) Snapshot(s *MachineSnapshot) error {
 		s.scheme = nil
 	}
 	s.valid = true
+	s.gen++
 	return nil
 }
 
@@ -193,6 +202,15 @@ func (m *Machine) Snapshot(s *MachineSnapshot) error {
 // lines — is reset to what a fresh build would hold. The taint
 // observer is cleared; a fault injector attached before the capture
 // must be re-attached after.
+//
+// Restore is read-only with respect to s, so one snapshot safely backs
+// any number of machines (Fork). When the machine's previous restore
+// came from this same snapshot and generation, the flat mem/log/
+// directory arrays take the copy-on-write delta path: only the pages
+// the trial dirtied since that restore are copied back. Everything
+// fixed-size per machine (engine queue, caches, Dep registers, stats,
+// DRAM, streams) is always copied in full — its cost does not grow
+// with the warm footprint.
 func (m *Machine) Restore(s *MachineSnapshot) error {
 	if !s.valid {
 		return fmt.Errorf("machine: restore from an empty snapshot")
@@ -206,10 +224,16 @@ func (m *Machine) Restore(s *MachineSnapshot) error {
 	m.Eng.Load(s.now, s.seq, s.events, m.resolveTag)
 	m.totalInstr, m.targetInstr = s.totalInstr, s.targetInstr
 	s.st.CopyInto(m.St)
-	m.Ctrl.Memory().Load(&s.mem)
-	m.Ctrl.Log().Load(&s.log)
+	if m.restoredFrom == s && m.restoredGen == s.gen {
+		m.Ctrl.Memory().LoadDelta(&s.mem)
+		m.Ctrl.Log().LoadDelta(&s.log)
+		m.Dir.LoadDelta(&s.dir)
+	} else {
+		m.Ctrl.Memory().Load(&s.mem)
+		m.Ctrl.Log().Load(&s.log)
+		m.Dir.Load(&s.dir)
+	}
 	m.Ctrl.DRAM().Load(&s.dram)
-	m.Dir.Load(&s.dir)
 	for i, p := range m.Procs {
 		p.loadState(&s.procs[i])
 	}
@@ -217,7 +241,23 @@ func (m *Machine) Restore(s *MachineSnapshot) error {
 	if sc, ok := m.Scheme.(SchemeSnapshotter); ok {
 		sc.SchemeRestore(s.scheme)
 	}
+	m.restoredFrom, m.restoredGen = s, s.gen
 	return nil
+}
+
+// Fork builds a new machine of the same shape as m — same Config, same
+// workload profile, its own scheme instance — restored to the snapshot
+// s. The parent machine and the snapshot are only read: Fork is safe to
+// call concurrently with other forks of the same parent, and with the
+// parent running trials of its own, which is how one warmed snapshot
+// fans out to a worker pool without re-warming. Subsequent Restore(s)
+// calls on the fork take the copy-on-write delta path.
+func (m *Machine) Fork(s *MachineSnapshot, scheme Scheme) (*Machine, error) {
+	n := NewIn(nil, m.Cfg, m.prof, scheme)
+	if err := n.Restore(s); err != nil {
+		return nil, err
+	}
+	return n, nil
 }
 
 // resolveTag re-binds a saved event to its closure.
@@ -308,6 +348,7 @@ func (m *Machine) Reset(scheme Scheme) {
 	m.Dir.Reset()
 	m.totalInstr, m.targetInstr = 0, 0
 	m.OnTaint = nil
+	m.restoredFrom, m.restoredGen = nil, 0
 	for _, p := range m.Procs {
 		p.reset()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cow"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -80,6 +81,15 @@ type Log struct {
 	// maximum such value (Table 6.1 row 2: checkpoint writebacks plus
 	// unique displacements until the next checkpoint).
 	sinceStub uint64
+
+	// Dirty tracking for the snapshot engine's copy-on-write restore:
+	// pidDirty[pid] marks a per-processor entry list whose contents
+	// changed since the last load, lkDirty the mutated pages of lastKey,
+	// and dirtyAll the wholesale invalidation (Reset). minEpoch and the
+	// scalar counters are small enough to copy unconditionally.
+	pidDirty []bool
+	lkDirty  cow.Dirty
+	dirtyAll bool
 }
 
 // NewLog returns a log banked banks ways with its own line table.
@@ -129,6 +139,7 @@ func (l *Log) growPID(pid int) {
 	for pid >= len(l.perPID) {
 		l.perPID = append(l.perPID, nil)
 		l.minEpoch = append(l.minEpoch, noEntries)
+		l.pidDirty = append(l.pidDirty, false)
 	}
 }
 
@@ -164,6 +175,8 @@ func (l *Log) AppendID(pid int, epoch uint64, id int32, line uint64, old Word, a
 		Seq: l.nextSeq, PID: pid, Epoch: epoch, Line: line, Old: old, At: at,
 	})
 	l.total++
+	l.pidDirty[pid] = true
+	l.lkDirty.Mark(int(id))
 	k.pid, k.epoch = int32(pid), epoch
 	if epoch < l.minEpoch[pid] {
 		l.minEpoch[pid] = epoch
@@ -212,6 +225,7 @@ func (l *Log) Rollback(target map[int]uint64, restore func(line uint64, old Word
 		}
 		if len(keep) != len(l.perPID[pid]) {
 			l.perPID[pid] = keep
+			l.pidDirty[pid] = true
 			l.rebuildMinEpochFor(pid)
 		}
 	}
@@ -221,8 +235,10 @@ func (l *Log) Rollback(target map[int]uint64, restore func(line uint64, old Word
 		restore(e.Line, e.Old)
 		// Invalidate the first-writeback key so a re-executed interval
 		// logs afresh.
-		if k := l.keyAt(l.tab.ID(e.Line)); k.pid == int32(e.PID) && k.epoch == e.Epoch {
+		id := l.tab.ID(e.Line)
+		if k := l.keyAt(id); k.pid == int32(e.PID) && k.epoch == e.Epoch {
 			k.pid = -1
+			l.lkDirty.Mark(int(id))
 		}
 	}
 	l.total -= len(undo)
@@ -248,6 +264,7 @@ func (l *Log) Truncate(safe map[int]uint64) int {
 			keep = append(keep, e)
 		}
 		l.perPID[pid] = keep
+		l.pidDirty[pid] = true
 		l.rebuildMinEpochFor(pid)
 	}
 	l.total -= dropped
@@ -317,6 +334,127 @@ func (l *Log) Load(s *LogSnapshot) {
 	// log-ablation machine restored into a default-built one (the
 	// cross-machine restore path) must keep logging every writeback.
 	l.AlwaysLog = s.alwaysLog
+	l.clearDirty()
+}
+
+func (l *Log) clearDirty() {
+	for i := range l.pidDirty {
+		l.pidDirty[i] = false
+	}
+	l.lkDirty.Clear()
+	l.dirtyAll = false
+}
+
+// LoadDelta restores the log from s touching only the state mutated
+// since the last load: the per-processor lists flagged dirty, the
+// mutated pages of the first-writeback keys, and the (small) epoch
+// floors and scalar counters. The caller guarantees the live state was
+// last loaded from this same capture; anything else must use Load.
+func (l *Log) LoadDelta(s *LogSnapshot) {
+	if l.dirtyAll || len(l.perPID) < len(s.perPID) || len(l.lastKey) < len(s.lastKey) {
+		l.Load(s)
+		return
+	}
+	for pid := range l.perPID {
+		if !l.pidDirty[pid] {
+			continue
+		}
+		if pid < len(s.perPID) {
+			l.perPID[pid] = append(l.perPID[pid][:0], s.perPID[pid]...)
+		} else {
+			l.perPID[pid] = l.perPID[pid][:0]
+		}
+	}
+	l.lkDirty.Pages(len(l.lastKey), func(lo, hi int) {
+		n := len(s.lastKey)
+		if lo < n {
+			end := hi
+			if end > n {
+				end = n
+			}
+			copy(l.lastKey[lo:end], s.lastKey[lo:end])
+		}
+		for i := max(lo, n); i < hi; i++ {
+			l.lastKey[i] = logKey{pid: -1}
+		}
+	})
+	for pid := range l.minEpoch {
+		if pid < len(s.minEpoch) {
+			l.minEpoch[pid] = s.minEpoch[pid]
+		} else {
+			l.minEpoch[pid] = noEntries
+		}
+	}
+	l.total, l.nextSeq, l.sinceStub = s.total, s.nextSeq, s.sinceStub
+	l.AlwaysLog = s.alwaysLog
+	l.clearDirty()
+}
+
+// LogImage is the exported, serializable form of a LogSnapshot, used by
+// the persistent-snapshot codec (machine.SnapshotImage). The lastKey
+// slots are split into parallel PID/epoch arrays so the unexported
+// logKey type never leaks into the on-disk schema.
+type LogImage struct {
+	PerPID    [][]Entry `json:"per_pid"`
+	LastPID   []int32   `json:"last_pid"`
+	LastEpoch []uint64  `json:"last_epoch"`
+	MinEpoch  []uint64  `json:"min_epoch"`
+	Total     int       `json:"total"`
+	NextSeq   uint64    `json:"next_seq"`
+	SinceStub uint64    `json:"since_stub"`
+	AlwaysLog bool      `json:"always_log"`
+}
+
+// Image converts the snapshot to its serializable form.
+func (s *LogSnapshot) Image() LogImage {
+	im := LogImage{
+		PerPID:    make([][]Entry, len(s.perPID)),
+		LastPID:   make([]int32, len(s.lastKey)),
+		LastEpoch: make([]uint64, len(s.lastKey)),
+		MinEpoch:  append([]uint64(nil), s.minEpoch...),
+		Total:     s.total,
+		NextSeq:   s.nextSeq,
+		SinceStub: s.sinceStub,
+		AlwaysLog: s.alwaysLog,
+	}
+	for pid := range s.perPID {
+		im.PerPID[pid] = append([]Entry(nil), s.perPID[pid]...)
+	}
+	for i, k := range s.lastKey {
+		im.LastPID[i] = k.pid
+		im.LastEpoch[i] = k.epoch
+	}
+	return im
+}
+
+// FromImage rebuilds the snapshot from its serializable form, reusing
+// the snapshot's storage where possible. It returns an error when the
+// image is internally inconsistent (parallel arrays of unequal length).
+func (s *LogSnapshot) FromImage(im *LogImage) error {
+	if len(im.LastPID) != len(im.LastEpoch) {
+		return fmt.Errorf("mem: log image lastKey arrays disagree (%d pids, %d epochs)",
+			len(im.LastPID), len(im.LastEpoch))
+	}
+	if len(im.PerPID) != len(im.MinEpoch) {
+		return fmt.Errorf("mem: log image perPID/minEpoch arrays disagree (%d lists, %d floors)",
+			len(im.PerPID), len(im.MinEpoch))
+	}
+	if cap(s.perPID) < len(im.PerPID) {
+		s.perPID = make([][]Entry, len(im.PerPID))
+	} else {
+		s.perPID = s.perPID[:len(im.PerPID)]
+	}
+	for pid := range im.PerPID {
+		s.perPID[pid] = append(s.perPID[pid][:0], im.PerPID[pid]...)
+	}
+	s.lastKey = s.lastKey[:0]
+	for i := range im.LastPID {
+		s.lastKey = append(s.lastKey, logKey{pid: im.LastPID[i], epoch: im.LastEpoch[i]})
+	}
+	s.minEpoch = append(s.minEpoch[:0], im.MinEpoch...)
+	s.total, s.nextSeq, s.sinceStub = im.Total, im.NextSeq, im.SinceStub
+	s.alwaysLog = im.AlwaysLog
+	return nil
 }
 
 // Reset empties the log in place, for Machine.Reset. The shared line
@@ -332,6 +470,7 @@ func (l *Log) Reset() {
 	}
 	l.total, l.nextSeq, l.sinceStub = 0, 0, 0
 	l.AlwaysLog = false
+	l.dirtyAll = true
 }
 
 // EntriesFor returns (for tests and debugging) the live entries of one

@@ -7,6 +7,8 @@
 // corruption arrives only through writebacks of poisoned cache lines.
 package mem
 
+import "repro/internal/cow"
+
 // Word is the content of one 32-byte cache line, abstracted to a single
 // value plus a poison bit. The poison bit is the fault-injection shadow:
 // a faulty core poisons the values it writes, and poison propagates to
@@ -25,6 +27,13 @@ type Memory struct {
 	tab     *LineTable
 	words   []Word
 	nonzero int
+
+	// dirty tracks the pages of words mutated since the last Load /
+	// LoadDelta, for the snapshot engine's copy-on-write restore.
+	// Growth in WriteID is covered by the mark on the written id; the
+	// appended filler words are the zero value a load would reset a
+	// post-capture tail to anyway.
+	dirty cow.Dirty
 }
 
 // NewMemory returns an empty memory with its own line table.
@@ -49,6 +58,7 @@ func (m *Memory) WriteID(id int32, w Word) {
 	for int(id) >= len(m.words) {
 		m.words = append(m.words, Word{})
 	}
+	m.dirty.Mark(int(id))
 	old := m.words[id]
 	m.words[id] = w
 	if (old == Word{}) != (w == Word{}) {
@@ -151,6 +161,37 @@ func (m *Memory) Load(s *MemorySnapshot) {
 	}
 	copy(m.words, s.Words)
 	m.nonzero = s.Nonzero
+	m.dirty.Clear()
+}
+
+// LoadDelta restores the memory from s copying only the pages marked
+// dirty since the last load. The caller guarantees the live contents
+// were last loaded from this same capture (machine.Restore tracks the
+// snapshot identity and generation); anything else must use Load. A
+// live slice shorter than the capture falls back to a full load.
+//
+// Truncating the post-capture tail without zeroing it is safe for the
+// same reason Load's shrink is: WriteID growth appends explicit zero
+// words, so a line re-interned past the captured length reads as zero
+// until (re)written.
+func (m *Memory) LoadDelta(s *MemorySnapshot) {
+	n := len(s.Words)
+	if m.dirty.All() || len(m.words) < n {
+		m.Load(s)
+		return
+	}
+	m.dirty.Pages(len(m.words), func(lo, hi int) {
+		if lo >= n {
+			return // truncated below; growth re-zeroes
+		}
+		if hi > n {
+			hi = n
+		}
+		copy(m.words[lo:hi], s.Words[lo:hi])
+	})
+	m.words = m.words[:n]
+	m.nonzero = s.Nonzero
+	m.dirty.Clear()
 }
 
 // Reset zeroes the memory in place. The shared line table is kept —
@@ -160,4 +201,5 @@ func (m *Memory) Load(s *MemorySnapshot) {
 func (m *Memory) Reset() {
 	clear(m.words)
 	m.nonzero = 0
+	m.dirty.MarkAll()
 }

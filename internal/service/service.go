@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -447,13 +448,35 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	h := w.Header()
 	h.Set("ETag", etag)
 	h.Set("Content-Type", "application/json")
-	if r.Header.Get("If-None-Match") == etag {
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	h.Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
+}
+
+// etagMatches implements the RFC 9110 §13.1.2 If-None-Match check
+// against one entity tag: the header may carry "*" (matches any stored
+// response) or a comma-separated list of quoted tags, each optionally
+// weak (W/ prefix — If-None-Match always compares weakly, so the prefix
+// is stripped). A bare unquoted tag is tolerated for sloppy clients.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag || `"`+candidate+`"` == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {

@@ -449,3 +449,70 @@ func TestDedupJoinsInFlightSimulation(t *testing.T) {
 		t.Fatalf("runner simulated %d cells, want 1", srv.cfg.Runner.CachedRuns())
 	}
 }
+
+// TestIfNoneMatchSemantics pins the RFC 9110 §13.1.2 conditional-GET
+// behaviour of GET /v1/runs/{key}: the stored record's ETag must match
+// quoted tags, weak tags, comma-separated candidate lists and "*" — a
+// proxy revalidating through any standards-following client sends those
+// forms, and serving a full 200 to them silently defeats the cache.
+func TestIfNoneMatchSemantics(t *testing.T) {
+	srv := newServer(t, t.TempDir(), nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := ts.Client()
+
+	var run RunResponse
+	req := RunRequest{App: "FFT", Procs: 4, Scheme: "none"}
+	if code, body := do(t, c, "POST", ts.URL+"/v1/runs", req, &run); code != 200 {
+		t.Fatalf("run: %d %s", code, body)
+	}
+	key := run.Key
+	quoted := `"` + key + `"`
+
+	cases := []struct {
+		name   string
+		header string
+		want   int
+	}{
+		{"quoted tag", quoted, http.StatusNotModified},
+		{"weak tag", "W/" + quoted, http.StatusNotModified},
+		{"wildcard", "*", http.StatusNotModified},
+		{"wildcard padded", "  *  ", http.StatusNotModified},
+		{"list with match", `"nope", ` + quoted, http.StatusNotModified},
+		{"list with weak match", `"nope", W/` + quoted + `, "other"`, http.StatusNotModified},
+		{"bare tag (sloppy client)", key, http.StatusNotModified},
+		{"no header", "", http.StatusOK},
+		{"mismatched tag", `"deadbeef"`, http.StatusOK},
+		{"mismatched list", `"a", "b"`, http.StatusOK},
+		{"substring must not match", `"` + key[:8] + `"`, http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			greq, err := http.NewRequest("GET", ts.URL+"/v1/runs/"+key, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.header != "" {
+				greq.Header.Set("If-None-Match", tc.header)
+			}
+			resp, err := c.Do(greq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("If-None-Match %q: got %d, want %d", tc.header, resp.StatusCode, tc.want)
+			}
+			if et := resp.Header.Get("ETag"); et != quoted {
+				t.Fatalf("ETag = %q, want %q", et, quoted)
+			}
+			if tc.want == http.StatusNotModified {
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				if buf.Len() != 0 {
+					t.Fatalf("304 carried a %d-byte body", buf.Len())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Persistent machine snapshots: the campaign engine warms a machine
+// once per spec and fans trials out from the snapshot (machine.Fork).
+// Persisting the serialized snapshot means a restarted daemon skips
+// even that single warmup — cold start to first trial is one store
+// read.
+//
+// Snapshot records live in the "snapshots" namespace, content-addressed
+// by the caller's snapshot key (which must embed everything the warm
+// state depends on: the full spec key including the scheme, plus the
+// codec's format version — see campaign.warmKey). Like top-level run
+// records they are self-verifying: the record stores the sha256 of its
+// payload and Get refuses a record that does not reproduce it, so a
+// torn write or manual edit is surfaced as an error, never silently
+// restored into a machine.
+
+// snapshotNamespace is the namespace snapshot records live in.
+const snapshotNamespace = "snapshots"
+
+// SnapshotRecord is the on-disk form of one serialized machine
+// snapshot.
+type SnapshotRecord struct {
+	// Key is the content address: hex sha256 of SnapKey.
+	Key string `json:"key"`
+	// SnapKey is the caller's snapshot key, kept readable for audits.
+	SnapKey string `json:"snap_key"`
+	// Sum is the hex sha256 of Machine; Get verifies it.
+	Sum string `json:"sum"`
+	// Machine is the machine.EncodeSnapshot payload, embedded verbatim
+	// (it is already JSON).
+	Machine json.RawMessage `json:"machine"`
+}
+
+// SnapshotKeyOf returns the content address of a snapshot key.
+func SnapshotKeyOf(snapKey string) string {
+	sum := sha256.Sum256([]byte(snapKey))
+	return hex.EncodeToString(sum[:])
+}
+
+// PutSnapshot atomically persists a serialized machine snapshot under
+// its snapshot key.
+func (s *Store) PutSnapshot(snapKey string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	rec := SnapshotRecord{
+		Key:     SnapshotKeyOf(snapKey),
+		SnapKey: snapKey,
+		Sum:     hex.EncodeToString(sum[:]),
+		Machine: json.RawMessage(payload),
+	}
+	ns, err := s.Namespace(snapshotNamespace)
+	if err != nil {
+		return err
+	}
+	return ns.PutJSON(rec.Key, &rec)
+}
+
+// GetSnapshot loads the serialized machine snapshot stored under
+// snapKey. ok is false when none exists; a record that exists but is
+// corrupt (fails to decode, addressed under a different key, or does
+// not reproduce its own payload hash) is returned as an error, never
+// as a payload.
+func (s *Store) GetSnapshot(snapKey string) (payload []byte, ok bool, err error) {
+	ns, err := s.Namespace(snapshotNamespace)
+	if err != nil {
+		return nil, false, err
+	}
+	key := SnapshotKeyOf(snapKey)
+	var rec SnapshotRecord
+	ok, err = ns.GetJSON(key, &rec)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if rec.Key != key || rec.SnapKey != snapKey {
+		return nil, false, fmt.Errorf("store: snapshot record %s does not match its key", key)
+	}
+	sum := sha256.Sum256(rec.Machine)
+	if rec.Sum != hex.EncodeToString(sum[:]) {
+		return nil, false, fmt.Errorf("store: snapshot record %s failed payload verification", key)
+	}
+	return rec.Machine, true, nil
+}

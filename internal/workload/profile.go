@@ -156,6 +156,57 @@ func (s *Stream) Snapshot() State { return State{s: *s} }
 // Restore rewinds the stream to a snapshot (rollback).
 func (s *Stream) Restore(st State) { *s = st.s }
 
+// StateImage is the serializable form of a stream State: the dynamic
+// fields only. A stream's identity — which profile it reads, its core
+// and processor count, and the derived burst constants — is not
+// serialized; StateFromImage reconstructs it from the machine the image
+// is decoded into, so a persisted snapshot can never smuggle a stale
+// profile pointer into a live machine.
+type StateImage struct {
+	RNG          uint64 `json:"rng"`
+	Instrs       uint64 `json:"instrs"`
+	SinceBarrier uint64 `json:"since_barrier"`
+	SinceIO      uint64 `json:"since_io"`
+	BarrierID    uint64 `json:"barrier_id"`
+	CSRemaining  int    `json:"cs_remaining"`
+	CSLock       uint64 `json:"cs_lock"`
+	ColdCursor   uint64 `json:"cold_cursor"`
+	PendingMem   bool   `json:"pending_mem"`
+}
+
+// Image extracts the serializable dynamic state of a captured State.
+func (st State) Image() StateImage {
+	return StateImage{
+		RNG:          st.s.rng.State(),
+		Instrs:       st.s.instrs,
+		SinceBarrier: st.s.sinceBarrier,
+		SinceIO:      st.s.sinceIO,
+		BarrierID:    st.s.barrierID,
+		CSRemaining:  st.s.csRemaining,
+		CSLock:       st.s.csLock,
+		ColdCursor:   st.s.coldCursor,
+		PendingMem:   st.s.pendingMem,
+	}
+}
+
+// StateFromImage rebuilds a State for core (of nprocs) streaming from
+// p, overlaying the image's dynamic fields onto a freshly-derived
+// identity (the seed passed to NewStream is irrelevant: the image's RNG
+// state replaces it).
+func StateFromImage(p *Profile, core, nprocs int, im StateImage) State {
+	s := NewStream(p, core, nprocs, 1)
+	s.rng.Restore(im.RNG)
+	s.instrs = im.Instrs
+	s.sinceBarrier = im.SinceBarrier
+	s.sinceIO = im.SinceIO
+	s.barrierID = im.BarrierID
+	s.csRemaining = im.CSRemaining
+	s.csLock = im.CSLock
+	s.coldCursor = im.ColdCursor
+	s.pendingMem = im.PendingMem
+	return s.Snapshot()
+}
+
 // Instructions returns the instructions emitted so far.
 func (s *Stream) Instructions() uint64 { return s.instrs }
 
