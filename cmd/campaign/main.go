@@ -13,16 +13,29 @@
 //
 //	go run ./cmd/campaign -app Ocean -trials 1000 -store ./campaign-store
 //
+// With -server, nothing simulates in this process: the campaign is
+// submitted to a running reboundd (single node or cluster coordinator —
+// same API either way) and polled to completion, with transport
+// hiccups retried under capped exponential backoff. Progress, output
+// and exit codes are identical to a local run; on a coordinator the
+// trials shard across the worker fleet and the fetched Report is
+// byte-identical to one computed locally.
+//
+//	go run ./cmd/campaign -server http://coord:8091 -trials 1000 -json
+//
 // The exit status is 0 only when every trial passed verification
 // (the paper's recovery guarantee, §3.2/Appendix A); -json emits the
 // full Report (the byte-identical campaign artifact) on stdout.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -30,6 +43,8 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/harness"
+	"repro/internal/retry"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -48,6 +63,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		serial   = flag.Bool("serial", false, "run trials serially (byte-identical to parallel)")
 		jsonOut  = flag.Bool("json", false, "emit the full campaign Report as JSON on stdout")
+		server   = flag.String("server", "", "submit to a running reboundd at this URL instead of simulating locally")
+		poll     = flag.Duration("poll", 2*time.Second, "progress poll interval with -server")
 	)
 	flag.Parse()
 
@@ -71,6 +88,35 @@ func main() {
 		fatalUsage(err)
 	}
 
+	// OnProgress is called from worker goroutines (or the poll loop);
+	// guard the decile tracker.
+	var progressMu sync.Mutex
+	lastDecile := -1
+	progress := func(done, total int) {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		pct := done * 100 / total
+		if decile := pct / 10; decile > lastDecile {
+			lastDecile = decile
+			fmt.Fprintf(os.Stderr, "campaign: %d/%d trials (%d%%)\n", done, total, pct)
+		}
+	}
+
+	if *server != "" {
+		begin := time.Now()
+		rep, err := runRemote(*server, *poll, service.CampaignRequest{
+			RunRequest: service.RunRequest{App: *app, Procs: np, Scheme: *scheme, Scale: sc.Name},
+			Trials:     *trials, Faults: *faults, Window: *window,
+			DetectLatency: *detect, Seed: *seed,
+		}, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			os.Exit(1)
+		}
+		finish(rep, time.Since(begin), *jsonOut)
+		return
+	}
+
 	var st *store.Store
 	if *storeDir != "" {
 		if st, err = store.Open(*storeDir, 0); err != nil {
@@ -83,19 +129,7 @@ func main() {
 		width = 1
 	}
 	eng := campaign.New(harness.NewRunner(width), st)
-	// OnProgress is called from worker goroutines; guard the decile
-	// tracker.
-	var progressMu sync.Mutex
-	lastDecile := -1
-	eng.OnProgress = func(done, total int) {
-		progressMu.Lock()
-		defer progressMu.Unlock()
-		pct := done * 100 / total
-		if decile := pct / 10; decile > lastDecile {
-			lastDecile = decile
-			fmt.Fprintf(os.Stderr, "campaign: %d/%d trials (%d%%)\n", done, total, pct)
-		}
-	}
+	eng.OnProgress = progress
 
 	begin := time.Now()
 	var rep *campaign.Report
@@ -108,9 +142,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 		os.Exit(1)
 	}
-	elapsed := time.Since(begin)
+	finish(rep, time.Since(begin), *jsonOut)
+}
 
-	if *jsonOut {
+// finish renders the report and exits non-zero when verification
+// failed — identical for local and -server runs.
+func finish(rep *campaign.Report, elapsed time.Duration, jsonOut bool) {
+	if jsonOut {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
@@ -124,6 +162,81 @@ func main() {
 		fmt.Fprintf(os.Stderr, "campaign: VERIFICATION FAILED on %d/%d trials\n",
 			rep.Trials-rep.VerifiedOK, rep.Trials)
 		os.Exit(1)
+	}
+}
+
+// runRemote submits the campaign to a reboundd server and polls it to
+// completion. Every transport operation retries under capped
+// exponential backoff (the retry helper), so a brief server restart
+// mid-campaign costs a bounded wait, not the run: the server resumes
+// the campaign from its persisted trials on the next POST.
+func runRemote(base string, poll time.Duration, req service.CampaignRequest,
+	progress func(done, total int)) (*campaign.Report, error) {
+	base = strings.TrimSuffix(base, "/")
+	policy := retry.Policy{Attempts: 10, Jitter: 0.5, Seed: req.Seed}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
+	submit := func() (service.CampaignResponse, error) {
+		var cr service.CampaignResponse
+		err := policy.Do(context.Background(), func() error {
+			resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+				b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+				return fmt.Errorf("POST /v1/campaigns: %s: %s", resp.Status, bytes.TrimSpace(b))
+			}
+			return json.NewDecoder(resp.Body).Decode(&cr)
+		})
+		return cr, err
+	}
+	get := func(key string) (service.CampaignResponse, error) {
+		var cr service.CampaignResponse
+		err := policy.Do(context.Background(), func() error {
+			resp, err := http.Get(base + "/v1/campaigns/" + key)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+				return fmt.Errorf("GET /v1/campaigns/%s: %s: %s", key, resp.Status, bytes.TrimSpace(b))
+			}
+			return json.NewDecoder(resp.Body).Decode(&cr)
+		})
+		return cr, err
+	}
+
+	cr, err := submit()
+	if err != nil {
+		return nil, err
+	}
+	key := cr.Key
+	for {
+		switch cr.Status {
+		case "done":
+			if cr.Report == nil {
+				// Progress races report persistence on the server; fetch
+				// once more for the full body.
+				break
+			}
+			progress(cr.Total, cr.Total)
+			return cr.Report, nil
+		case "failed":
+			return nil, fmt.Errorf("campaign %s failed on the server: %s", key, cr.Error)
+		}
+		if cr.Total > 0 {
+			progress(cr.Done, cr.Total)
+		}
+		time.Sleep(poll)
+		if cr, err = get(key); err != nil {
+			return nil, err
+		}
 	}
 }
 

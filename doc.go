@@ -69,6 +69,25 @@
 // and POST/GET /v1/campaigns the asynchronous service surface, with
 // progress in /metrics.
 //
+// Above the service sits the distribution layer, internal/cluster:
+// a coordinator/worker cluster that shards sweeps and campaigns across
+// machines behind the same public API. The coordinator (reboundd
+// -role coordinator) partitions submitted jobs into TTL-leased unit
+// ranges; workers (reboundd -role worker -join URL) pull leases
+// work-stealing style, warm or load the campaign's shared machine
+// snapshot through the coordinator's store proxy (one read on cold
+// start), execute on the local runner pool, and push every record back
+// through the same content-addressed write path the local engine uses
+// — so the stored trials, cells and assembled reports are
+// byte-identical no matter which node computed them, and a worker
+// killed mid-lease costs only the re-issue of its unpushed units (the
+// pushed ones are recognized in the store at lease expiry, never
+// re-run). The coordinator runs one in-process worker, so a cluster of
+// one node completes every job; internal/retry supplies the capped,
+// deterministically-jittered backoff that all cluster transport rides
+// on, and cmd/campaign -server submits and polls a campaign against
+// either deployment shape.
+//
 // See README.md for a quickstart, the runner API — including the
 // seed-derivation rule and how to reproduce figures in parallel versus
 // serial — and curl examples for the service and campaign endpoints.

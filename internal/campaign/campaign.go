@@ -305,6 +305,16 @@ func warmKey(spec Spec) string {
 		machine.SnapshotFormat, warmSemantics, spec.Base.Key())
 }
 
+// SnapshotStore is the tier a TrialRunner loads its warm snapshot from
+// and persists it to. *store.Store implements it for the local shared
+// directory; the cluster's remote client implements it over the
+// coordinator's /v1/store proxy, which is how a remote worker
+// cold-starts to its first trial with one store read.
+type SnapshotStore interface {
+	GetSnapshot(snapKey string) (payload []byte, ok bool, err error)
+	PutSnapshot(snapKey string, payload []byte) error
+}
+
 // TrialRunner runs the trials of one campaign Spec through the machine
 // snapshot engine: ONE machine is built and warmed (or its warm state
 // loaded from the store), its post-warmup state captured with
@@ -327,7 +337,7 @@ func warmKey(spec Spec) string {
 // executor settles the same way.
 type TrialRunner struct {
 	spec Spec
-	st   *store.Store // optional persistent-snapshot cache
+	st   SnapshotStore // optional persistent-snapshot tier
 
 	// init runs the single build+warm (or store load); workers arriving
 	// during it wait instead of warming their own machine.
@@ -358,8 +368,12 @@ func NewTrialRunner(spec Spec) *TrialRunner { return NewTrialRunnerStored(spec, 
 
 // NewTrialRunnerStored returns a runner that loads its warm snapshot
 // from st when a valid one is stored, and persists it after warming
-// otherwise. st may be nil.
-func NewTrialRunnerStored(spec Spec, st *store.Store) *TrialRunner {
+// otherwise. st may be nil (a typed-nil *store.Store is normalized so
+// the interface comparison below stays honest).
+func NewTrialRunnerStored(spec Spec, st SnapshotStore) *TrialRunner {
+	if s, ok := st.(*store.Store); ok && s == nil {
+		st = nil
+	}
 	return &TrialRunner{spec: spec, st: st}
 }
 
@@ -602,6 +616,62 @@ const (
 
 func trialName(i int) string { return fmt.Sprintf("trial-%06d", i) }
 
+// --- distributed-execution surface ----------------------------------------
+//
+// The cluster coordinator shards a campaign's trial indices across
+// workers and merges the records they push back through the store into
+// a Report. Everything it needs is exported here so the merge is the
+// SAME code path as local execution: identical record names, identical
+// validation, identical aggregation — hence byte-identical Reports no
+// matter where each trial ran.
+
+// TrialRecordName returns the store record name of trial index i —
+// the name remote workers push under and resumed campaigns read from.
+func TrialRecordName(i int) string { return trialName(i) }
+
+// ReportRecordName is the store record name of a finished campaign's
+// Report within its namespace.
+const ReportRecordName = reportName
+
+// TrialNamespace returns the store namespace campaign key's trial
+// records and report live in: the one Engine persists through locally
+// and the coordinator merges from in distributed runs.
+func TrialNamespace(st *store.Store, key string) (*store.Namespace, error) {
+	return st.Namespace(nsCampaigns, key)
+}
+
+// NamespacePath returns the namespace path segments of a campaign
+// key's records, for store tiers addressed by path (the cluster's
+// /v1/store proxy). It mirrors TrialNamespace exactly — the remote
+// write lands in the same directory a local PutJSON would.
+func NamespacePath(key string) []string { return []string{nsCampaigns, key} }
+
+// ValidTrial reports whether tr is the authentic record of trial
+// (spec, index): it self-identifies with the right index and the seed
+// derived from the campaign identity. This is the only trust a stored
+// or remotely-produced trial record ever gets — a record that fails it
+// is re-run, which rewrites the byte-identical truth.
+func ValidTrial(spec Spec, index int, tr *Trial) bool {
+	return tr != nil && tr.Index == index && tr.Seed == TrialSeed(spec, index)
+}
+
+// Assemble merges a campaign's complete trial set into its Report:
+// exactly len == spec.Trials records, each validated with ValidTrial
+// at its index. It is the exported form of the aggregation local runs
+// use, so a Report assembled from remotely-produced records is
+// byte-identical to one computed in process.
+func Assemble(spec Spec, trials []Trial) (*Report, error) {
+	if len(trials) != spec.Trials {
+		return nil, fmt.Errorf("campaign: assemble: %d trials, want %d", len(trials), spec.Trials)
+	}
+	for i := range trials {
+		if !ValidTrial(spec, i, &trials[i]) {
+			return nil, fmt.Errorf("campaign: assemble: record at index %d is not trial %d of this campaign", i, i)
+		}
+	}
+	return buildReport(spec, trials), nil
+}
+
 // Engine runs campaigns: trials fan out across a harness.Runner's
 // worker pool (sharing its arena pooling), and — when a store is
 // attached — each finished trial and the final report persist under
@@ -702,8 +772,7 @@ func (e *Engine) run(ctx context.Context, spec Spec, serial bool) (*Report, erro
 	if ns != nil {
 		for i := range trials {
 			var tr Trial
-			if ok, err := ns.GetJSON(trialName(i), &tr); err == nil && ok &&
-				tr.Index == i && tr.Seed == TrialSeed(spec, i) {
+			if ok, err := ns.GetJSON(trialName(i), &tr); err == nil && ok && ValidTrial(spec, i, &tr) {
 				trials[i] = &tr
 				done++
 			}

@@ -1,0 +1,139 @@
+// Package retry is the cluster's backoff helper: capped exponential
+// backoff with deterministic-seedable jitter. The worker client loop
+// and the remote store client retry every transport operation through
+// one Policy, so a coordinator restart or a dropped connection costs a
+// bounded, jittered wait instead of a hot loop or a worker death.
+//
+// Determinism contract, in the spirit of harness.DeriveSeed: the delay
+// of attempt k is a pure function of (Policy, Seed, k). Production
+// callers seed from the worker identity so a fleet's retries spread
+// out; tests seed constants and assert exact delays.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Policy describes a capped exponential backoff schedule. The zero
+// value is usable: Default's base/cap/factor with no jitter and
+// unlimited attempts.
+type Policy struct {
+	// Base is the delay before the first retry; 0 selects 50ms.
+	Base time.Duration
+	// Cap bounds every delay; 0 selects 5s. Delays grow geometrically
+	// until they hit Cap and stay there (the "ceiling").
+	Cap time.Duration
+	// Factor is the geometric growth rate; values < 1 (including 0)
+	// select 2.
+	Factor float64
+	// Jitter in [0, 1] randomizes each delay downward: the delay of
+	// attempt k is drawn from [d*(1-Jitter), d] where d is the
+	// deterministic schedule value. 0 disables jitter.
+	Jitter float64
+	// Attempts bounds how many times Do invokes fn; <= 0 means
+	// unlimited (Do then retries until the context is cancelled).
+	Attempts int
+	// Seed selects the jitter stream. Two Policies with equal fields
+	// (Seed included) produce identical delay sequences.
+	Seed uint64
+}
+
+// Defaults for zero-valued Policy fields.
+const (
+	DefaultBase   = 50 * time.Millisecond
+	DefaultCap    = 5 * time.Second
+	DefaultFactor = 2.0
+)
+
+func (p Policy) base() time.Duration {
+	if p.Base <= 0 {
+		return DefaultBase
+	}
+	return p.Base
+}
+
+func (p Policy) cap() time.Duration {
+	if p.Cap <= 0 {
+		return DefaultCap
+	}
+	return p.Cap
+}
+
+func (p Policy) factor() float64 {
+	if p.Factor < 1 {
+		return DefaultFactor
+	}
+	return p.Factor
+}
+
+// splitmix64 is the finisher used across the repo (harness.DeriveSeed,
+// campaign.TrialSeed) to turn a counter into a well-mixed word.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Delay returns the backoff before retry number attempt (0-based): the
+// capped geometric schedule value, jittered downward deterministically
+// from (Seed, attempt). It is a pure function — calling it twice with
+// the same inputs returns the same duration.
+func (p Policy) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(p.base())
+	f := p.factor()
+	capd := float64(p.cap())
+	for i := 0; i < attempt && d < capd; i++ {
+		d *= f
+	}
+	if d > capd {
+		d = capd
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [0, 1) from the (Seed, attempt) stream; shave up
+		// to j*d off the schedule value. Jitter only ever shortens the
+		// delay, so Cap stays a hard ceiling.
+		u := float64(splitmix64(p.Seed^uint64(attempt))>>11) / float64(uint64(1)<<53)
+		d -= j * d * u
+	}
+	return time.Duration(d)
+}
+
+// Do invokes fn until it succeeds, the attempt budget is spent, or ctx
+// is cancelled, sleeping Delay(k) between attempts. It returns nil on
+// the first success; otherwise the last error (wrapped with the
+// attempt count), or the context error when cancelled mid-wait.
+func (p Policy) Do(ctx context.Context, fn func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var last error
+	for attempt := 0; p.Attempts <= 0 || attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(p.Delay(attempt - 1))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return errors.Join(ctx.Err(), last)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return errors.Join(err, last)
+		}
+		if last = fn(); last == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("retry: gave up after %d attempts: %w", p.Attempts, last)
+}

@@ -1,0 +1,124 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDelayGeometricUntilCap(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // ceiling: capped forever after
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayCapIsHardCeilingUnderJitter(t *testing.T) {
+	p := Policy{Base: 1 * time.Millisecond, Cap: 64 * time.Millisecond, Jitter: 0.5, Seed: 42}
+	for i := 0; i < 200; i++ {
+		d := p.Delay(i)
+		if d > p.Cap {
+			t.Fatalf("Delay(%d) = %v exceeds cap %v", i, d, p.Cap)
+		}
+		if d <= 0 {
+			t.Fatalf("Delay(%d) = %v not positive", i, d)
+		}
+	}
+	// Past the ramp, jitter must still shave at most Jitter*Cap.
+	if d := p.Delay(100); d < p.Cap/2 {
+		t.Fatalf("Delay(100) = %v below jitter floor %v", d, p.Cap/2)
+	}
+}
+
+func TestDelayDeterministicPerSeed(t *testing.T) {
+	a := Policy{Base: time.Millisecond, Cap: time.Second, Jitter: 0.8, Seed: 7}
+	b := Policy{Base: time.Millisecond, Cap: time.Second, Jitter: 0.8, Seed: 7}
+	c := Policy{Base: time.Millisecond, Cap: time.Second, Jitter: 0.8, Seed: 8}
+	diff := false
+	for i := 0; i < 64; i++ {
+		if a.Delay(i) != b.Delay(i) {
+			t.Fatalf("same seed diverged at attempt %d", i)
+		}
+		if a.Delay(i) != c.Delay(i) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+func TestDelayZeroValueUsesDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0); got != DefaultBase {
+		t.Fatalf("zero-value Delay(0) = %v, want %v", got, DefaultBase)
+	}
+	if got := p.Delay(1000); got != DefaultCap {
+		t.Fatalf("zero-value Delay(1000) = %v, want cap %v", got, DefaultCap)
+	}
+}
+
+func TestDoAttemptCeiling(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Cap: time.Microsecond, Attempts: 3}
+	calls := 0
+	errBoom := errors.New("boom")
+	err := p.Do(context.Background(), func() error { calls++; return errBoom })
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want wrapped %v", err, errBoom)
+	}
+}
+
+func TestDoStopsRetryingOnSuccess(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Cap: time.Microsecond, Attempts: 10}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil after 3", err, calls)
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	p := Policy{Base: time.Hour, Cap: time.Hour} // unlimited attempts, long waits
+	ctx, cancel := context.WithCancel(context.Background())
+	errBoom := errors.New("boom")
+	done := make(chan error, 1)
+	ran := make(chan struct{})
+	var once sync.Once
+	go func() {
+		done <- p.Do(ctx, func() error { once.Do(func() { close(ran) }); return errBoom })
+	}()
+	<-ran // cancel only after a failed attempt, so the last error joins in
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("err = %v, want the last fn error joined in", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+}

@@ -190,9 +190,7 @@ func (s *Server) handleCampaignPost(w http.ResponseWriter, r *http.Request) {
 // already on disk, so the next POST of the same spec resumes.
 func (s *Server) runCampaign(key string, job *campaignJob, spec campaign.Spec) {
 	defer s.campaignsRunning.Add(-1)
-	release := s.acquireAllBackground()
-	eng := campaign.New(s.cfg.Runner, s.cfg.Store)
-	eng.OnProgress = func(done, total int) {
+	onProgress := func(done, total int) {
 		job.mu.Lock()
 		if delta := done - job.done; delta > 0 {
 			s.campaignTrialsDone.Add(int64(delta))
@@ -203,8 +201,21 @@ func (s *Server) runCampaign(key string, job *campaignJob, spec campaign.Spec) {
 		job.total = total
 		job.mu.Unlock()
 	}
-	rep, err := eng.Run(context.Background(), spec)
-	release()
+	var rep *campaign.Report
+	var err error
+	if s.coord != nil {
+		// Coordinator role: the cluster shards the trials across the
+		// in-process worker and any remote workers; the report the
+		// coordinator assembles from their records is byte-identical to
+		// a local run's. Admission happens in the worker loop, not here.
+		rep, err = s.clusterCampaign(spec, onProgress)
+	} else {
+		release := s.acquireAllBackground()
+		eng := campaign.New(s.cfg.Runner, s.cfg.Store)
+		eng.OnProgress = onProgress
+		rep, err = eng.Run(context.Background(), spec)
+		release()
+	}
 
 	s.campMu.Lock()
 	defer s.campMu.Unlock()

@@ -1,0 +1,371 @@
+package service
+
+// End-to-end tests of distributed mode: a coordinator Server behind
+// httptest with real cluster.Workers speaking HTTP to it — the full
+// join/lease/complete/store-proxy loop in one process. The tests pin
+// the subsystem's three contracts: a coordinator alone still completes
+// every job (the in-process worker), a fleet-computed campaign report
+// is byte-identical to a single-node one even when a worker is killed
+// mid-campaign, and a worker's cold start costs exactly one snapshot
+// store read.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/harness"
+	"repro/internal/retry"
+)
+
+// newCoordinator builds a coordinator-role Server on dir and serves it.
+func newCoordinator(t *testing.T, dir string, ttl time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(t, dir, func(cfg *Config) {
+		cfg.Role = RoleCoordinator
+		cfg.LeaseTTL = ttl
+	})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// startWorker runs a remote-style worker (HTTP protocol + store proxy,
+// no local store) against the coordinator at url until ctx ends.
+func startWorker(t *testing.T, ctx context.Context, url, name string) (*cluster.Worker, *cluster.RemoteStore, chan error) {
+	t.Helper()
+	policy := retry.Policy{Attempts: 8, Jitter: 0.5, Seed: uint64(len(name))}
+	tier := cluster.NewRemoteStore(url, nil, policy)
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Proto:  cluster.NewHTTPProtocol(url, nil, policy),
+		Runner: harness.NewRunner(2),
+		Tier:   tier,
+		Name:   name,
+		Poll:   5 * time.Millisecond,
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	return w, tier, done
+}
+
+// pollCampaign polls GET /v1/campaigns/{key} until done, returning the
+// raw response body of the final poll — the byte-identity evidence.
+func pollCampaign(t *testing.T, url, key string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		resp, err := http.Get(url + "/v1/campaigns/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET campaign: %d: %s", resp.StatusCode, data)
+		}
+		var cr CampaignResponse
+		if err := json.Unmarshal(data, &cr); err != nil {
+			t.Fatal(err)
+		}
+		switch cr.Status {
+		case "done":
+			return data
+		case "failed":
+			t.Fatalf("campaign failed: %s", cr.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign did not finish: %s", data)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// metricsMap fetches and decodes /metrics.
+func metricsMap(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestClusterCoordinatorAloneCompletesCampaign pins the cluster-of-one
+// guarantee: with zero remote workers the coordinator's in-process
+// worker executes every lease, and /healthz + /metrics expose the
+// cluster surface.
+func TestClusterCoordinatorAloneCompletesCampaign(t *testing.T) {
+	_, ts := newCoordinator(t, t.TempDir(), 0)
+
+	cr, code := postCampaignURL(t, ts.URL,
+		`{"app":"FFT","procs":4,"scheme":"Rebound","trials":4,"faults":2,"window":60000,"seed":9}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("POST: %d", code)
+	}
+	final := pollCampaign(t, ts.URL, cr.Key)
+	var done CampaignResponse
+	if err := json.Unmarshal(final, &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Report == nil || done.Report.Trials != 4 || done.Report.VerifiedOK != 4 {
+		t.Fatalf("coordinator-alone campaign: %s", final)
+	}
+
+	// healthz reports the role and the (empty) remote fleet.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz["role"] != "coordinator" {
+		t.Fatalf("healthz role = %v, want coordinator", hz["role"])
+	}
+	if _, ok := hz["peers"]; !ok {
+		t.Fatalf("healthz carries no peer count: %v", hz)
+	}
+
+	// The cluster metrics exist and the trials flowed through leases.
+	m := metricsMap(t, ts.URL)
+	for _, k := range []string{"role", "workers_joined", "live_workers",
+		"leases_active", "leases_expired", "trials_remote_total", "cells_remote_total"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("metrics missing %q: %v", k, m)
+		}
+	}
+	if m["role"] != "coordinator" {
+		t.Fatalf("metrics role = %v", m["role"])
+	}
+	if m["trials_remote_total"].(float64) < 4 {
+		t.Fatalf("trials_remote_total = %v, want >= 4 (leases did not carry the campaign)",
+			m["trials_remote_total"])
+	}
+	if m["leases_active"].(float64) != 0 {
+		t.Fatalf("leases_active = %v after the campaign finished", m["leases_active"])
+	}
+}
+
+// postCampaignURL is postCampaign against an explicit base URL.
+func postCampaignURL(t *testing.T, url, body string) (CampaignResponse, int) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var cr CampaignResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(data, &cr); err != nil {
+			t.Fatalf("decoding %s: %v", data, err)
+		}
+	}
+	return cr, resp.StatusCode
+}
+
+// TestClusterCampaignByteIdentityAcrossFleet is the acceptance test:
+// a 200-trial campaign on a coordinator with two HTTP workers — one of
+// which is killed mid-campaign, so its lease expires and is re-issued
+// — produces a stored report byte-identical to a single-node run of
+// the same spec.
+func TestClusterCampaignByteIdentityAcrossFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-trial fleet campaign; skipped with -short")
+	}
+	const body = `{"app":"FFT","procs":4,"scheme":"Rebound","trials":200,"faults":2,"window":60000,"seed":42}`
+
+	// Reference: single-node daemon, same spec.
+	single := newServer(t, t.TempDir(), nil)
+	ts1 := httptest.NewServer(single)
+	cr, code := postCampaignURL(t, ts1.URL, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("single POST: %d", code)
+	}
+	key := cr.Key
+	var singleDone CampaignResponse
+	if err := json.Unmarshal(pollCampaign(t, ts1.URL, key), &singleDone); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	singleReport, err := json.Marshal(singleDone.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet: a fresh store, a short lease TTL so the killed worker's
+	// lease expires quickly, and two remote workers.
+	srv, ts2 := newCoordinator(t, t.TempDir(), 300*time.Millisecond)
+	wctx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	w1, _, done1 := startWorker(t, wctx, ts2.URL, "alpha")
+	victimCtx, killVictim := context.WithCancel(context.Background())
+	defer killVictim()
+	w2, _, done2 := startWorker(t, victimCtx, ts2.URL, "victim")
+
+	if cr, code = postCampaignURL(t, ts2.URL, body); code != http.StatusAccepted {
+		t.Fatalf("fleet POST: %d", code)
+	}
+	if cr.Key != key {
+		t.Fatalf("campaign key diverged: %s vs %s", cr.Key, key)
+	}
+
+	// Kill the victim the moment it has pushed a trial — mid-lease by
+	// construction (a lease is tens of trials). Its heartbeats stop,
+	// the lease expires, and the coordinator re-issues the remainder
+	// while recognizing the already-pushed records.
+	killDeadline := time.Now().Add(time.Minute)
+	for {
+		if trials, _, _ := w2.Stats(); trials >= 1 {
+			killVictim()
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatal("victim worker never ran a trial")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := <-done2; err != nil && err != context.Canceled {
+		t.Fatalf("victim exit: %v", err)
+	}
+
+	var fleetDone CampaignResponse
+	if err := json.Unmarshal(pollCampaign(t, ts2.URL, key), &fleetDone); err != nil {
+		t.Fatal(err)
+	}
+	fleetReport, err := json.Marshal(fleetDone.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fleetReport) != string(singleReport) {
+		t.Fatalf("fleet report is not byte-identical to the single-node report\nfleet:  %.200s\nsingle: %.200s",
+			fleetReport, singleReport)
+	}
+
+	// The survivor actually carried remote load, and the victim's death
+	// showed up as an expired lease.
+	if trials, _, _ := w1.Stats(); trials == 0 {
+		t.Fatal("surviving remote worker ran no trials — work stealing never reached it")
+	}
+	m := srv.Coordinator().Metrics()
+	if m.TrialsRemote < 200 {
+		t.Fatalf("TrialsRemote = %d, want >= 200", m.TrialsRemote)
+	}
+	if m.LeasesExpired < 1 {
+		t.Fatalf("LeasesExpired = %d, want >= 1 (the killed worker held a lease)", m.LeasesExpired)
+	}
+	if m.WorkersJoined < 3 {
+		t.Fatalf("WorkersJoined = %d, want >= 3 (local + 2 remote)", m.WorkersJoined)
+	}
+
+	// The drained fleet shuts down cleanly.
+	stopWorkers()
+	if err := <-done1; err != nil && err != context.Canceled {
+		t.Fatalf("survivor exit: %v", err)
+	}
+}
+
+// TestClusterSweepThroughCoordinator routes a sweep through leases and
+// checks the stored cells match a single-node sweep of the same specs.
+func TestClusterSweepThroughCoordinator(t *testing.T) {
+	_, ts := newCoordinator(t, t.TempDir(), 0)
+	wctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	w, _, done := startWorker(t, wctx, ts.URL, "sweeper")
+
+	sweep := SweepRequest{Specs: []RunRequest{
+		{App: "FFT", Procs: 4, Scheme: "Rebound"},
+		{App: "FFT", Procs: 4, Scheme: "none"},
+		{App: "Volrend", Procs: 4, Scheme: "Rebound"},
+	}}
+	var resp SweepResponse
+	if code, body := do(t, ts.Client(), "POST", ts.URL+"/v1/sweeps", sweep, &resp); code != 200 {
+		t.Fatalf("sweep: %d %s", code, body)
+	}
+	if resp.Count != 3 || resp.Cached != 0 {
+		t.Fatalf("sweep cells = %d cached = %d", resp.Count, resp.Cached)
+	}
+
+	// Every cell matches a fresh serial run — remote or local execution
+	// is indistinguishable in the store.
+	serial := harness.NewRunner(1)
+	for i, rr := range sweep.Specs {
+		spec, err := rr.Spec(harness.Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := serial.RunOne(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cells[i].Cycles != fresh.Cycles {
+			t.Fatalf("cell %d: cluster sweep %d cycles, serial %d", i, resp.Cells[i].Cycles, fresh.Cycles)
+		}
+	}
+
+	// Re-sweeping is served from the store without touching the fleet.
+	var again SweepResponse
+	if code, _ := do(t, ts.Client(), "POST", ts.URL+"/v1/sweeps", sweep, &again); code != 200 ||
+		again.Cached != again.Count {
+		t.Fatalf("re-sweep not fully cached: %d/%d", again.Cached, again.Count)
+	}
+
+	stop()
+	if err := <-done; err != nil && err != context.Canceled {
+		t.Fatal(err)
+	}
+	_ = w
+}
+
+// TestClusterWorkerColdStartOneSnapshotRead pins the cold-start
+// economics: once the campaign's warmed snapshot is in the store, a
+// fresh worker reaches its first trial with exactly one snapshot read
+// through the proxy — no rebuild, no re-warm, no repeat fetches.
+func TestClusterWorkerColdStartOneSnapshotRead(t *testing.T) {
+	_, ts := newCoordinator(t, t.TempDir(), 0)
+
+	// Campaign one (no remote workers) warms the machine and persists
+	// the snapshot through the in-process worker's store tier.
+	cr, _ := postCampaignURL(t, ts.URL,
+		`{"app":"FFT","procs":4,"scheme":"Rebound","trials":4,"faults":2,"window":60000,"seed":1}`)
+	pollCampaign(t, ts.URL, cr.Key)
+
+	// Campaign two: same base cell (same snapshot), new fault grid. The
+	// cold worker joins first so the lease chunking sees a live fleet.
+	wctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	w, tier, done := startWorker(t, wctx, ts.URL, "cold")
+	cr, _ = postCampaignURL(t, ts.URL,
+		`{"app":"FFT","procs":4,"scheme":"Rebound","trials":60,"faults":2,"window":60000,"seed":2}`)
+	pollCampaign(t, ts.URL, cr.Key)
+	stop()
+	if err := <-done; err != nil && err != context.Canceled {
+		t.Fatal(err)
+	}
+
+	trials, _, _ := w.Stats()
+	if trials == 0 {
+		t.Fatal("cold worker ran no trials — nothing to measure")
+	}
+	if got := tier.SnapshotReads(); got != 1 {
+		t.Fatalf("cold start cost %d snapshot reads for %d trials, want exactly 1", got, trials)
+	}
+}

@@ -35,9 +35,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 	"repro/internal/harness"
 	"repro/internal/store"
 )
@@ -59,6 +61,13 @@ type Config struct {
 	// QueueDepth bounds how many jobs may wait for a slot before the
 	// service answers 503; <= 0 selects 64.
 	QueueDepth int
+	// Role selects distributed mode: RoleSingle (default) runs every
+	// job in process; RoleCoordinator partitions sweeps and campaigns
+	// into cluster leases and serves the cluster endpoints (cluster.go).
+	Role string
+	// LeaseTTL overrides the cluster lease TTL in coordinator role;
+	// 0 selects cluster.DefaultLeaseTTL.
+	LeaseTTL time.Duration
 }
 
 // Server is the HTTP service. Create with New; it implements
@@ -79,6 +88,16 @@ type Server struct {
 	campMu    sync.Mutex
 	campaigns map[string]*campaignJob
 	loader    *campaign.Engine
+
+	// Cluster state (cluster.go), nil/zero for RoleSingle: the
+	// coordinator, the in-process worker and its lifecycle plumbing.
+	coord          *cluster.Coordinator
+	worker         *cluster.Worker
+	workerStop     context.CancelFunc
+	workerDone     chan struct{}
+	workerDraining atomic.Bool
+	jobKick        chan struct{}
+	closeOnce      sync.Once
 
 	// Metrics, reported by /metrics. expvar types for atomicity; they
 	// are deliberately not Publish()ed to the process-global expvar map
@@ -138,6 +157,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/campaigns/{key}", s.handleCampaignGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.jobKick = make(chan struct{}, 1)
+	if err := s.initCluster(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -553,7 +576,30 @@ func (s *Server) runSweep(r *http.Request, figure string, sc harness.Scale, spec
 		missing = append(missing, spec)
 	}
 
-	if len(missing) > 0 {
+	switch {
+	case len(missing) == 0:
+	case s.coord != nil:
+		// Coordinator role: the cluster runs the missing cells — the
+		// in-process worker plus whatever remote workers have joined —
+		// and every record lands in the shared store before the job
+		// completes. The response is then read back from the store,
+		// exactly as a single-node run would have written it.
+		if err := s.clusterSweep(r, missing); err != nil {
+			return nil, err
+		}
+		for _, spec := range missing {
+			key := store.KeyOf(spec)
+			rec, ok, err := s.cfg.Store.Get(key)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("service: sweep cell %s completed but stored no record", key)
+			}
+			s.cacheMisses.Add(1)
+			recs[key] = rec
+		}
+	default:
 		release, err := s.acquireAll(r)
 		if err != nil {
 			return nil, err
@@ -598,26 +644,36 @@ func (s *Server) runSweep(r *http.Request, figure string, sc harness.Scale, spec
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	info := s.clusterInfo()
+	body := map[string]any{
 		"status":         "ok",
+		"role":           info.role,
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 		"store_records":  s.cfg.Store.Len(),
 		"workers":        s.cfg.Runner.Workers(),
-	})
+		"peers":          info.metrics.LiveWorkers,
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	info := s.clusterInfo()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"cache_hits": %s, "cache_misses": %s, "dedups": %s, `+
 		`"in_flight": %s, "queue_waiting": %s, "queue_capacity": %d, `+
 		`"max_concurrent": %d, "runs_total": %s, "sweeps_total": %s, `+
 		`"campaigns_total": %s, "campaigns_running": %s, "campaign_trials_done": %s, `+
-		`"store_errors": %s, "store_records": %d, "runner_cached_cells": %d}`+"\n",
+		`"store_errors": %s, "store_records": %d, "runner_cached_cells": %d, `+
+		`"role": %q, "workers_joined": %d, "live_workers": %d, "leases_active": %d, `+
+		`"leases_expired": %d, "trials_remote_total": %d, "cells_remote_total": %d}`+"\n",
 		s.cacheHits.String(), s.cacheMisses.String(), s.dedups.String(),
 		s.inFlight.String(), s.queued.String(), s.cfg.QueueDepth,
 		s.cfg.MaxConcurrent, s.runsTotal.String(), s.sweepsTotal.String(),
 		s.campaignsTotal.String(), s.campaignsRunning.String(), s.campaignTrialsDone.String(),
-		s.storeErrors.String(), s.cfg.Store.Len(), s.cfg.Runner.CachedRuns())
+		s.storeErrors.String(), s.cfg.Store.Len(), s.cfg.Runner.CachedRuns(),
+		info.role, info.metrics.WorkersJoined, info.metrics.LiveWorkers,
+		info.metrics.LeasesActive, info.metrics.LeasesExpired,
+		info.metrics.TrialsRemote, info.metrics.CellsRemote)
 }
 
 // --- helpers ---------------------------------------------------------------

@@ -61,12 +61,26 @@ func (n *Namespace) path(name string) string {
 // namespace directory on first use. Putting an existing name overwrites
 // it via rename, so concurrent readers always see a fully-written file.
 func (n *Namespace) PutJSON(name string, v any) error {
-	if err := validSegment(name); err != nil {
-		return err
-	}
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	return n.PutRaw(name, data)
+}
+
+// PutRaw atomically writes data — which must be the json.Marshal bytes
+// of the record, exactly what PutJSON would have produced — as the
+// record <name>.json. It is the write half of the store proxy tier: a
+// remote worker marshals a record once and ships the bytes, and the
+// coordinator-side write is byte-identical to a local PutJSON of the
+// same value, which is what keeps resumed campaigns indifferent to
+// where each trial ran. Data that is not valid JSON is rejected.
+func (n *Namespace) PutRaw(name string, data []byte) error {
+	if err := validSegment(name); err != nil {
+		return err
+	}
+	if !json.Valid(data) {
+		return fmt.Errorf("store: namespace record %s: not valid JSON", name)
 	}
 	if err := os.MkdirAll(n.dir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -95,20 +109,32 @@ func (n *Namespace) PutJSON(name string, v any) error {
 // no such record exists; a record that exists but fails to decode is
 // returned as an error.
 func (n *Namespace) GetJSON(name string, v any) (ok bool, err error) {
-	if err := validSegment(name); err != nil {
+	data, ok, err := n.GetRaw(name)
+	if !ok || err != nil {
 		return false, err
-	}
-	data, err := os.ReadFile(n.path(name))
-	if os.IsNotExist(err) {
-		return false, nil
-	}
-	if err != nil {
-		return false, fmt.Errorf("store: %w", err)
 	}
 	if err := json.Unmarshal(data, v); err != nil {
 		return false, fmt.Errorf("store: namespace record %s: %w", name, err)
 	}
 	return true, nil
+}
+
+// GetRaw returns the stored bytes of the record under name, exactly as
+// written. ok is false when no such record exists. It is the read half
+// of the store proxy tier (GET /v1/store/...): records ship to remote
+// workers without a decode/re-marshal round trip.
+func (n *Namespace) GetRaw(name string) (data []byte, ok bool, err error) {
+	if err := validSegment(name); err != nil {
+		return nil, false, err
+	}
+	data, err = os.ReadFile(n.path(name))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	return data, true, nil
 }
 
 // Names lists the record names present in the namespace (without the

@@ -22,8 +22,10 @@ import (
 // torn write or manual edit is surfaced as an error, never silently
 // restored into a machine.
 
-// snapshotNamespace is the namespace snapshot records live in.
-const snapshotNamespace = "snapshots"
+// SnapshotsNamespace is the namespace snapshot records live in —
+// exported so the store proxy's clients can address snapshot records
+// by path.
+const SnapshotsNamespace = "snapshots"
 
 // SnapshotRecord is the on-disk form of one serialized machine
 // snapshot.
@@ -45,21 +47,49 @@ func SnapshotKeyOf(snapKey string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// PutSnapshot atomically persists a serialized machine snapshot under
-// its snapshot key.
-func (s *Store) PutSnapshot(snapKey string, payload []byte) error {
+// NewSnapshotRecord builds the self-verifying record for a serialized
+// machine snapshot: the cluster's remote store client uses it to ship
+// snapshots to the coordinator in exactly the form PutSnapshot writes.
+func NewSnapshotRecord(snapKey string, payload []byte) *SnapshotRecord {
 	sum := sha256.Sum256(payload)
-	rec := SnapshotRecord{
+	return &SnapshotRecord{
 		Key:     SnapshotKeyOf(snapKey),
 		SnapKey: snapKey,
 		Sum:     hex.EncodeToString(sum[:]),
 		Machine: json.RawMessage(payload),
 	}
-	ns, err := s.Namespace(snapshotNamespace)
+}
+
+// Verify checks the record's internal consistency: its address derives
+// from its snapshot key and the payload reproduces the stored hash. It
+// is the shared integrity bar for every path a snapshot record travels
+// — local disk, the store proxy, a remote worker's read.
+func (r *SnapshotRecord) Verify() error {
+	if want := SnapshotKeyOf(r.SnapKey); r.Key != want {
+		return fmt.Errorf("store: snapshot record %s does not match its key", r.Key)
+	}
+	sum := sha256.Sum256(r.Machine)
+	if r.Sum != hex.EncodeToString(sum[:]) {
+		return fmt.Errorf("store: snapshot record %s failed payload verification", r.Key)
+	}
+	return nil
+}
+
+// SnapshotNamespace returns the store's snapshot namespace, shared by
+// the local Put/GetSnapshot pair and the service's store proxy.
+func (s *Store) SnapshotNamespace() (*Namespace, error) {
+	return s.Namespace(SnapshotsNamespace)
+}
+
+// PutSnapshot atomically persists a serialized machine snapshot under
+// its snapshot key.
+func (s *Store) PutSnapshot(snapKey string, payload []byte) error {
+	rec := NewSnapshotRecord(snapKey, payload)
+	ns, err := s.SnapshotNamespace()
 	if err != nil {
 		return err
 	}
-	return ns.PutJSON(rec.Key, &rec)
+	return ns.PutJSON(rec.Key, rec)
 }
 
 // GetSnapshot loads the serialized machine snapshot stored under
@@ -68,7 +98,7 @@ func (s *Store) PutSnapshot(snapKey string, payload []byte) error {
 // not reproduce its own payload hash) is returned as an error, never
 // as a payload.
 func (s *Store) GetSnapshot(snapKey string) (payload []byte, ok bool, err error) {
-	ns, err := s.Namespace(snapshotNamespace)
+	ns, err := s.SnapshotNamespace()
 	if err != nil {
 		return nil, false, err
 	}
@@ -78,12 +108,11 @@ func (s *Store) GetSnapshot(snapKey string) (payload []byte, ok bool, err error)
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	if rec.Key != key || rec.SnapKey != snapKey {
+	if rec.SnapKey != snapKey {
 		return nil, false, fmt.Errorf("store: snapshot record %s does not match its key", key)
 	}
-	sum := sha256.Sum256(rec.Machine)
-	if rec.Sum != hex.EncodeToString(sum[:]) {
-		return nil, false, fmt.Errorf("store: snapshot record %s failed payload verification", key)
+	if err := rec.Verify(); err != nil {
+		return nil, false, err
 	}
 	return rec.Machine, true, nil
 }
