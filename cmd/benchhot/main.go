@@ -64,13 +64,73 @@ var benches = []struct {
 	{"ServicePath", benchhot.ServicePath, false},
 	{"CampaignTrial", benchhot.CampaignTrial, false},
 	{"CampaignTrialParallel", benchhot.CampaignTrialParallel, true},
+	{"ShardedSingleCell", benchhot.ShardedSingleCell, false},
+	{"ShardedSingleCellParallel", benchhot.ShardedSingleCellParallel, true},
+	{"Fig62SweepSharded", benchhot.Fig62SweepSharded, false},
 }
 
-func measure(label, filter string) []Entry {
+// parseBenchFilter splits -bench into comma-separated substring terms
+// and validates each against the registry: a term matching no
+// registered benchmark is an error, not a silent no-op — a typo in a
+// CI invocation must fail the job rather than quietly gate nothing.
+func parseBenchFilter(arg string) ([]string, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var terms []string
+	for _, t := range strings.Split(arg, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		matched := false
+		for _, bm := range benches {
+			if strings.Contains(bm.name, t) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			var names []string
+			for _, bm := range benches {
+				names = append(names, bm.name)
+			}
+			return nil, fmt.Errorf("-bench term %q matches no registered benchmark (have: %s)",
+				t, strings.Join(names, " "))
+		}
+		terms = append(terms, t)
+	}
+	return terms, nil
+}
+
+func selected(name string, terms []string) bool {
+	if len(terms) == 0 {
+		return true
+	}
+	for _, t := range terms {
+		if strings.Contains(name, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func measure(label string, terms []string) []Entry {
 	now := time.Now().UTC().Format("2006-01-02")
 	var out []Entry
 	for _, bm := range benches {
-		if filter != "" && !strings.Contains(bm.name, filter) {
+		if !selected(bm.name, terms) {
+			continue
+		}
+		// A parallel benchmark on a narrow machine measures contention,
+		// not scaling: its body raises GOMAXPROCS to NumCPU, so below
+		// the scaling gate's width the row is meaningless — and once
+		// merged into the trajectory it would ratchet future runs
+		// against garbage. Refuse to record it rather than caveat it.
+		if bm.parallel && runtime.NumCPU() < scalingMinWidth {
+			fmt.Fprintf(os.Stderr,
+				"benchhot: skipping %s: %d cores < %d (parallel rows are only meaningful at the scaling gate's width)\n",
+				bm.name, runtime.NumCPU(), scalingMinWidth)
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "benchhot: running %s...\n", bm.name)
@@ -233,53 +293,72 @@ func check(fresh, baseline []Entry, maxRegress, maxAllocGrowth float64) error {
 	return nil
 }
 
-// The scaling gate: the whole point of the fork engine is that trial
-// throughput scales with cores instead of staying flat (N warmups used
-// to eat the parallelism). At scalingMinWidth cores or more the
-// parallel campaign benchmark must clear scalingFloor times the serial
-// one's throughput, and its allocs/op must not exceed the serial
-// path's — forking must not add per-trial allocations.
-const (
-	scalingMinWidth = 4
-	scalingFloor    = 2.0
-)
+// The scaling gates: each pair compares a parallel benchmark against
+// its serial twin from the SAME measurement run (fresh vs fresh, so
+// machine-independent, unlike the ops/sec ratchet). Below
+// scalingMinWidth cores the gates warn and skip — a 1- or 2-core
+// runner cannot express a 2x requirement (and measure refuses to
+// record parallel rows there at all).
+const scalingMinWidth = 4
 
-// checkScaling gates CampaignTrialParallel against CampaignTrial from
-// the SAME measurement run (fresh vs fresh, so it is machine-
-// independent, unlike the ops/sec ratchet). Below scalingMinWidth
-// cores the gate warns and skips: a 1- or 2-core runner cannot express
-// a 2x scaling requirement.
-func checkScaling(fresh []Entry) error {
-	var serial, parallel *Entry
+var scalingPairs = []struct {
+	serial, parallel string
+	floor            float64
+	// allocParity additionally requires the parallel row to allocate
+	// no more per op than the serial one. True for the campaign pair
+	// (forking must not add per-trial allocations); false for the
+	// sharded snapshot pair, whose parallel path pays a few worker-pool
+	// allocations per op that the serial single-worker path skips.
+	allocParity bool
+}{
+	// The fork engine: trial throughput must scale with cores instead
+	// of staying flat (N warmups used to eat the parallelism).
+	{"CampaignTrial", "CampaignTrialParallel", 2.0, true},
+	// The sharded state plane: snapshot/restore of a 256-proc machine
+	// must scale across per-proc/per-shard tasks (machine.parallelDo).
+	{"ShardedSingleCell", "ShardedSingleCellParallel", 1.8, false},
+}
+
+// checkScaling applies every scalingPairs gate present in fresh. On a
+// runner wide enough to express the gate, a pair with one side missing
+// from an unfiltered run is an error: a silently half-measured pair
+// would report "gate passed" while gating nothing.
+func checkScaling(fresh []Entry, filtered bool) error {
+	byName := make(map[string]*Entry, len(fresh))
 	for i := range fresh {
-		switch fresh[i].Name {
-		case "CampaignTrial":
-			serial = &fresh[i]
-		case "CampaignTrialParallel":
-			parallel = &fresh[i]
+		byName[fresh[i].Name] = &fresh[i]
+	}
+	for _, pair := range scalingPairs {
+		serial, parallel := byName[pair.serial], byName[pair.parallel]
+		if serial == nil && parallel == nil {
+			continue // pair not in this run
 		}
-	}
-	if serial == nil || parallel == nil {
-		return nil // filtered run; nothing to compare
-	}
-	if parallel.GOMAXPROCS < scalingMinWidth {
+		if serial == nil || parallel == nil {
+			if filtered || runtime.NumCPU() < scalingMinWidth {
+				continue // -bench selected one side, or measure refused the parallel row
+			}
+			return fmt.Errorf("scaling pair %s/%s half-measured: one side missing from an unfiltered run",
+				pair.serial, pair.parallel)
+		}
+		if parallel.GOMAXPROCS < scalingMinWidth {
+			fmt.Fprintf(os.Stderr,
+				"benchhot: scaling gate %s skipped: parallel width %d < %d cores\n",
+				pair.parallel, parallel.GOMAXPROCS, scalingMinWidth)
+			continue
+		}
+		speedup := parallel.OpsPerSec / serial.OpsPerSec
 		fmt.Fprintf(os.Stderr,
-			"benchhot: scaling gate skipped: parallel width %d < %d cores\n",
-			parallel.GOMAXPROCS, scalingMinWidth)
-		return nil
-	}
-	speedup := parallel.OpsPerSec / serial.OpsPerSec
-	fmt.Fprintf(os.Stderr,
-		"benchhot: gate scaling: parallel %.0f vs serial %.0f ops/sec = %.2fx at gomaxprocs=%d (floor %.1fx), %d vs %d allocs/op\n",
-		parallel.OpsPerSec, serial.OpsPerSec, speedup, parallel.GOMAXPROCS,
-		scalingFloor, parallel.AllocsPerOp, serial.AllocsPerOp)
-	if speedup < scalingFloor {
-		return fmt.Errorf("parallel campaign throughput %.2fx serial at %d cores, want >=%.1fx (flat scaling regression)",
-			speedup, parallel.GOMAXPROCS, scalingFloor)
-	}
-	if parallel.AllocsPerOp > serial.AllocsPerOp {
-		return fmt.Errorf("parallel trial allocates more than serial (%d vs %d allocs/op): forking added per-trial allocations",
-			parallel.AllocsPerOp, serial.AllocsPerOp)
+			"benchhot: gate scaling %s: parallel %.0f vs serial %.0f ops/sec = %.2fx at gomaxprocs=%d (floor %.1fx), %d vs %d allocs/op\n",
+			pair.parallel, parallel.OpsPerSec, serial.OpsPerSec, speedup, parallel.GOMAXPROCS,
+			pair.floor, parallel.AllocsPerOp, serial.AllocsPerOp)
+		if speedup < pair.floor {
+			return fmt.Errorf("%s throughput %.2fx %s at %d cores, want >=%.1fx (flat scaling regression)",
+				pair.parallel, speedup, pair.serial, parallel.GOMAXPROCS, pair.floor)
+		}
+		if pair.allocParity && parallel.AllocsPerOp > serial.AllocsPerOp {
+			return fmt.Errorf("%s allocates more than %s (%d vs %d allocs/op): parallelism added per-op allocations",
+				pair.parallel, pair.serial, parallel.AllocsPerOp, serial.AllocsPerOp)
+		}
 	}
 	return nil
 }
@@ -289,16 +368,21 @@ func main() {
 		label      = flag.String("label", "current", "label to record measurements under")
 		out        = flag.String("out", "", "JSON file to merge measurements into")
 		doCheck    = flag.Bool("check", false, "gate against a baseline file")
-		benchArg   = flag.String("bench", "", "measure only benchmarks whose name contains this substring")
+		benchArg   = flag.String("bench", "", "measure only benchmarks whose name contains one of these comma-separated substrings (each term must match)")
 		baseline   = flag.String("baseline", "BENCH_hotpath.json", "baseline file for -check")
 		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed ops/sec drop for -check")
 		maxAllocs  = flag.Float64("max-alloc-growth", 0.25, "maximum allowed allocs/op growth for -check")
 	)
 	flag.Parse()
 
-	fresh := measure(*label, *benchArg)
+	terms, err := parseBenchFilter(*benchArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchhot: %v\n", err)
+		os.Exit(1)
+	}
+	fresh := measure(*label, terms)
 	if len(fresh) == 0 {
-		fmt.Fprintf(os.Stderr, "benchhot: no benchmark matches -bench %q\n", *benchArg)
+		fmt.Fprintf(os.Stderr, "benchhot: nothing to measure (all selected benchmarks refused on this machine)\n")
 		os.Exit(1)
 	}
 
@@ -333,7 +417,7 @@ func main() {
 			if err := check(fresh, base, *maxRegress, *maxAllocs); err != nil {
 				return err
 			}
-			return checkScaling(fresh)
+			return checkScaling(fresh, len(terms) > 0)
 		}
 		err = gate()
 		if err != nil {
@@ -344,7 +428,7 @@ func main() {
 			// the WORSE of the two samples: the retry forgives only
 			// throughput noise, never an allocation regression.
 			fmt.Fprintf(os.Stderr, "benchhot: first sample failed (%v); re-measuring once\n", err)
-			second := measure(*label, *benchArg)
+			second := measure(*label, terms)
 			for i := range fresh {
 				worstAllocs := fresh[i].AllocsPerOp
 				if second[i].AllocsPerOp > worstAllocs {

@@ -61,6 +61,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "campaign seed (folded into every trial's fault seed)")
 		storeDir = flag.String("store", "", "persist trials/report here and resume interrupted campaigns")
 		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "machine state-partition count (power of two; 0/1 = unsharded; results are identical)")
 		serial   = flag.Bool("serial", false, "run trials serially (byte-identical to parallel)")
 		jsonOut  = flag.Bool("json", false, "emit the full campaign Report as JSON on stdout")
 		server   = flag.String("server", "", "submit to a running reboundd at this URL instead of simulating locally")
@@ -77,7 +78,7 @@ func main() {
 		np = harness.DefaultProcs(sc, *app)
 	}
 	spec := campaign.Spec{
-		Base:          harness.Spec{App: *app, Procs: np, Scheme: *scheme, Scale: sc},
+		Base:          harness.Spec{App: *app, Procs: np, Scheme: *scheme, Scale: sc, Shards: *shards},
 		Trials:        *trials,
 		Faults:        *faults,
 		Window:        *window,
@@ -105,7 +106,7 @@ func main() {
 	if *server != "" {
 		begin := time.Now()
 		rep, err := runRemote(*server, *poll, service.CampaignRequest{
-			RunRequest: service.RunRequest{App: *app, Procs: np, Scheme: *scheme, Scale: sc.Name},
+			RunRequest: service.RunRequest{App: *app, Procs: np, Scheme: *scheme, Scale: sc.Name, Shards: *shards},
 			Trials:     *trials, Faults: *faults, Window: *window,
 			DetectLatency: *detect, Seed: *seed,
 		}, progress)

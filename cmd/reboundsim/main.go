@@ -33,6 +33,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		baseline = flag.Bool("baseline", false, "also run without checkpointing and report overhead")
 		doFault  = flag.Bool("fault", false, "inject a transient fault mid-run and verify recovery")
+		shards   = flag.Int("shards", 0, "machine state-partition count (power of two; 0/1 = unsharded; results are identical)")
 		list     = flag.Bool("list", false, "list application profiles and exit")
 	)
 	flag.Parse()
@@ -49,7 +50,7 @@ func main() {
 		InstrPerProc: *instr, Interval: *interval,
 		DetectLatency: *detectL, Seed: *seed,
 	}
-	spec := harness.Spec{App: *app, Procs: *procs, Scheme: *scheme, Scale: sc}
+	spec := harness.Spec{App: *app, Procs: *procs, Scheme: *scheme, Scale: sc, Shards: *shards}
 	if err := spec.Validate(); err != nil {
 		usage(err)
 	}

@@ -39,12 +39,15 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/campaign"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/store"
 )
 
@@ -183,6 +186,120 @@ func CampaignTrialParallel(b *testing.B) {
 		b.Fatal(msg)
 	}
 	assertForkEconomics(b, tr)
+}
+
+// ShardedCellSpec is the cell the sharded-exec benchmarks measure: a
+// 256-processor machine under Rebound with its state split into 8
+// partitions — large enough that the per-shard and per-processor tasks
+// of the parallel snapshot/restore plane (machine.parallelDo) dominate
+// the per-op cost.
+func ShardedCellSpec() harness.Spec {
+	return harness.Spec{
+		App: "FFT", Procs: 256, Scheme: "Rebound",
+		Scale: harness.Scale{
+			Name: "sharded-bench", ProcsLarge: 256, ProcsSmall: 256,
+			InstrPerProc: 4_000, Interval: 2_000, DetectLatency: 1_500, Seed: 1,
+		},
+		Shards: 8,
+	}
+}
+
+// shardedCell holds the warmed 256-proc machine shared by
+// ShardedSingleCell and ShardedSingleCellParallel. Building and
+// warming a machine this size costs seconds; testing.Benchmark calls
+// the body several times with growing b.N, so the warmup is paid once
+// per process, exactly as a campaign amortizes it. Sharing is safe:
+// every benchmark op restores the machine to the same settled point,
+// and cmd/benchhot runs benchmarks sequentially.
+var shardedCell struct {
+	once sync.Once
+	m    *machine.Machine
+	snap *machine.MachineSnapshot
+	err  error
+}
+
+func shardedCellInit() {
+	spec := ShardedCellSpec()
+	m, err := harness.Build(spec)
+	if err != nil {
+		shardedCell.err = err
+		return
+	}
+	m.Run(spec.Scale.InstrPerProc * uint64(spec.Procs) / 2)
+	if !m.SettleForSnapshot(sim.Cycle(4_000_000)) {
+		shardedCell.err = fmt.Errorf("sharded cell never reached a snapshot-safe point")
+		return
+	}
+	snap := new(machine.MachineSnapshot)
+	if err := m.Snapshot(snap); err != nil {
+		shardedCell.err = err
+		return
+	}
+	shardedCell.m, shardedCell.snap = m, snap
+}
+
+// shardedCellBody is the shared measured region: each op is one full
+// snapshot + restore round trip of the 256-proc machine — the state-
+// plane work a campaign pays per trial and a sweep pays per warm-cache
+// hit, fanned across GOMAXPROCS workers by machine.parallelDo. The
+// serial and parallel variants differ only in GOMAXPROCS, so their
+// ratio is the intra-machine scaling the "sharded-exec" gate guards.
+func shardedCellBody(b *testing.B) {
+	shardedCell.once.Do(shardedCellInit)
+	if shardedCell.err != nil {
+		b.Fatal(shardedCell.err)
+	}
+	m, snap := shardedCell.m, shardedCell.snap
+	if err := m.Restore(snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Snapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// ShardedSingleCell measures the snapshot/restore round trip at the
+// process's default GOMAXPROCS (CI pins 1: the serial reference row).
+func ShardedSingleCell(b *testing.B) { shardedCellBody(b) }
+
+// ShardedSingleCellParallel is the same round trip at
+// GOMAXPROCS=NumCPU: machine.parallelDo fans the per-processor and
+// per-shard save/load tasks across cores. cmd/benchhot gates this row
+// at >=1.8x the serial row on runners with >=4 cores (no alloc-parity
+// requirement: the worker pool itself allocates a few objects per op,
+// which the serial single-worker path skips).
+func ShardedSingleCellParallel(b *testing.B) {
+	prev := runtime.GOMAXPROCS(runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	shardedCellBody(b)
+}
+
+// Fig62SweepSharded is Fig62Sweep with every cell's machine state
+// split into 4 partitions: the whole-figure regression canary for the
+// sharded state plane (results are byte-identical to the unsharded
+// sweep; only the storage layout differs).
+func Fig62SweepSharded(b *testing.B) {
+	specs := harness.Fig62Specs(harness.Quick)
+	for i := range specs {
+		specs[i].Shards = 4
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(0)
+		if _, err := r.Run(context.Background(), specs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
 }
 
 // ServicePath benchmarks the service request path: POST /v1/runs

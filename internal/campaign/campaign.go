@@ -116,9 +116,20 @@ const trialSemantics = "v2"
 // Key returns the canonical identity of the campaign: the trial
 // semantics version, the base cell's canonical key and every
 // fault-grid field, in a fixed order.
+//
+// The base's shard count is normalized away first: sharding changes
+// how machine state is stored and parallelized, never what a trial
+// simulates, so campaigns differing only in Base.Shards are the same
+// campaign — they share persisted trials, reports and TrialSeed fault
+// placements (the byte-identity the equivalence suite in
+// internal/machine asserts). Warm machine snapshots are NOT shared
+// across shard counts: warmKey uses the un-normalized Base.Key(),
+// because the persisted snapshot encoding is layout-specific.
 func (s Spec) Key() string {
+	base := s.Base
+	base.Shards = 0
 	return fmt.Sprintf("campaign|%s|%s|trials=%d|faults=%d|win=%d|L=%d|seed=%d",
-		trialSemantics, s.Base.Key(), s.Trials, s.Faults, s.Window, s.DetectLatency, s.Seed)
+		trialSemantics, base.Key(), s.Trials, s.Faults, s.Window, s.DetectLatency, s.Seed)
 }
 
 // KeyOf returns the content address of a campaign: the hex sha256 of

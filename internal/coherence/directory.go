@@ -15,13 +15,16 @@
 // extra dependence-maintenance messages are accounted separately
 // (Table 6.1 row 3).
 //
-// Directory state is stored in flat slices indexed by interned line IDs
-// (the machine-wide mem.LineTable): one owner word, one LW-ID word and
-// a fixed number of sharer-bitmap words per line, so a transaction pays
-// a single intern lookup and then runs on dense arrays. Sharer updates
-// are batched per transaction: the invalidation fan-out walks the
-// bitmap words inline and accounts messages once, instead of per-sharer
-// closure calls into a heap-allocated bitset.
+// Directory state is stored in dense per-shard slices indexed by
+// interned line IDs (the machine-wide mem.LineTable) through the
+// machine's mem.Sharding (shard = low ID bits, slot = remaining bits):
+// one owner word, one LW-ID word and a fixed number of sharer-bitmap
+// words per line, so a transaction pays a single intern lookup plus two
+// shifts and then runs on dense arrays. A 1-shard directory degenerates
+// to the historical flat layout. Sharer updates are batched per
+// transaction: the invalidation fan-out walks the bitmap words inline
+// and accounts messages once, instead of per-sharer closure calls into
+// a heap-allocated bitset.
 package coherence
 
 import (
@@ -71,20 +74,22 @@ type Directory struct {
 	ctrl  *mem.Controller
 	nodes []Node
 	tab   *mem.LineTable
+	sh    mem.Sharding
 
-	// Per-line state, indexed by interned line ID. sharers holds wpp
-	// bitmap words per line, carved from one backing slice.
-	owner   []int32
-	lwid    []int32
-	sharers []uint64
+	// Per-line state, partitioned per shard and indexed by slot.
+	// sharers holds wpp bitmap words per line, carved from one backing
+	// slice per shard.
+	owner   [][]int32
+	lwid    [][]int32
+	sharers [][]uint64
 	wpp     int
 
 	// dirty tracks entries mutated since the last Load/LoadDelta, one
-	// mark per line ID covering its owner, LW-ID and sharer words
-	// (cow.Dirty pages those into ranges). entryID growth is exempt:
-	// the appended defaults are exactly what a load resets a
-	// post-capture tail to.
-	dirty cow.Dirty
+	// per-shard tracker with one mark per slot covering its owner,
+	// LW-ID and sharer words (cow.Dirty pages those into ranges).
+	// entryID growth is exempt: the appended defaults are exactly what
+	// a load resets a post-capture tail to.
+	dirty []cow.Dirty
 
 	// L2HitCycles is charged for the remote L2 access on forwarded
 	// requests.
@@ -92,22 +97,31 @@ type Directory struct {
 }
 
 // New returns a directory for the given tiles, sharing the memory
-// controller's line table.
+// controller's line table and adopting its state-partition layout.
 func New(tp *topo.Topology, st *stats.Stats, ctrl *mem.Controller, nodes []Node) *Directory {
 	wpp := (len(nodes) + 63) / 64
 	if wpp < 1 {
 		wpp = 1
 	}
+	sh := ctrl.Memory().Sharding()
 	return &Directory{
 		topo:        tp,
 		st:          st,
 		ctrl:        ctrl,
 		nodes:       nodes,
 		tab:         ctrl.Memory().Table(),
+		sh:          sh,
+		owner:       make([][]int32, sh.N()),
+		lwid:        make([][]int32, sh.N()),
+		sharers:     make([][]uint64, sh.N()),
 		wpp:         wpp,
+		dirty:       make([]cow.Dirty, sh.N()),
 		L2HitCycles: 8,
 	}
 }
+
+// NumShards returns the shard count of the per-line state.
+func (d *Directory) NumShards() int { return len(d.owner) }
 
 // entryID interns line and grows the per-line state to cover it. Other
 // users of the shared table (memory, log) may have interned lines this
@@ -115,20 +129,44 @@ func New(tp *topo.Topology, st *stats.Stats, ctrl *mem.Controller, nodes []Node)
 // directory traffic.
 func (d *Directory) entryID(line uint64) int32 {
 	id := d.tab.ID(line)
-	for int(id) >= len(d.owner) {
-		d.owner = append(d.owner, noProc)
-		d.lwid = append(d.lwid, noProc)
+	shd, sl := d.sh.Shard(id), d.sh.Slot(id)
+	for sl >= len(d.owner[shd]) {
+		d.owner[shd] = append(d.owner[shd], noProc)
+		d.lwid[shd] = append(d.lwid[shd], noProc)
 		for i := 0; i < d.wpp; i++ {
-			d.sharers = append(d.sharers, 0)
+			d.sharers[shd] = append(d.sharers[shd], 0)
 		}
 	}
 	return id
 }
 
-// sharerWords returns the sharer bitmap of id.
+// The per-entry accessors below re-derive (shard, slot) on each call
+// rather than holding pointers or sub-slices: entryID growth can
+// reallocate a shard's backing arrays mid-transaction (a Node callback
+// may intern a new line), and two shifts per access is noise next to
+// the intern lookup the transaction already paid.
+
+func (d *Directory) getOwner(id int32) int32 { return d.owner[d.sh.Shard(id)][d.sh.Slot(id)] }
+
+func (d *Directory) setOwner(id int32, v int32) {
+	d.owner[d.sh.Shard(id)][d.sh.Slot(id)] = v
+}
+
+func (d *Directory) getLWID(id int32) int32 { return d.lwid[d.sh.Shard(id)][d.sh.Slot(id)] }
+
+func (d *Directory) setLWID(id int32, v int32) {
+	d.lwid[d.sh.Shard(id)][d.sh.Slot(id)] = v
+}
+
+// mark flags id's entry dirty for the copy-on-write restore.
+func (d *Directory) mark(id int32) { d.dirty[d.sh.Shard(id)].Mark(d.sh.Slot(id)) }
+
+// sharerWords returns the sharer bitmap of id. Not stable across
+// entryID growth — re-fetch after any Node callback.
 func (d *Directory) sharerWords(id int32) []uint64 {
-	off := int(id) * d.wpp
-	return d.sharers[off : off+d.wpp : off+d.wpp]
+	shd, sl := d.sh.Shard(id), d.sh.Slot(id)
+	off := sl * d.wpp
+	return d.sharers[shd][off : off+d.wpp : off+d.wpp]
 }
 
 func setBit(w []uint64, i int) { w[i>>6] |= 1 << uint(i&63) }
@@ -149,8 +187,11 @@ func wordsEmpty(w []uint64) bool {
 
 // LWID returns the last-writer field of line (noProc==-1 when null).
 func (d *Directory) LWID(line uint64) int {
-	if id, ok := d.tab.Lookup(line); ok && int(id) < len(d.lwid) {
-		return int(d.lwid[id])
+	if id, ok := d.tab.Lookup(line); ok {
+		shd, sl := d.sh.Shard(id), d.sh.Slot(id)
+		if sl < len(d.lwid[shd]) {
+			return int(d.lwid[shd][sl])
+		}
 	}
 	return noProc
 }
@@ -163,7 +204,7 @@ func (d *Directory) LWID(line uint64) int {
 // message path (the recalled owner), in which case the query rides the
 // existing messages for free.
 func (d *Directory) recordDependence(pid int, line uint64, id int32, piggybacked bool) {
-	lw := d.lwid[id]
+	lw := d.getLWID(id)
 	if lw == noProc || int(lw) == pid {
 		return
 	}
@@ -173,7 +214,7 @@ func (d *Directory) recordDependence(pid int, line uint64, id int32, piggybacked
 	ok, exact := d.nodes[lw].LastWriterCheck(line, pid)
 	d.nodes[pid].AddProducer(int(lw), exact)
 	if !ok {
-		d.lwid[id] = noProc // NO_WR: stale LW-ID cleared
+		d.setLWID(id, noProc) // NO_WR: stale LW-ID cleared
 	}
 }
 
@@ -191,12 +232,12 @@ type ReadResult struct {
 // Read performs a GetS transaction for pid on line.
 func (d *Directory) Read(pid int, line uint64) ReadResult {
 	id := d.entryID(line)
-	d.dirty.Mark(int(id)) // every Read path mutates the entry
+	d.mark(id) // every Read path mutates the entry
 	home := d.topo.Home(line)
 	lat := d.topo.Latency(pid, home)
 	d.st.CohMessages++ // request
 
-	if owner := d.owner[id]; owner != noProc && int(owner) != pid {
+	if owner := d.getOwner(id); owner != noProc && int(owner) != pid {
 		data, dirty, epoch, ok := d.nodes[owner].Recall(line, false)
 		if ok {
 			// Forward to owner; owner supplies the line and downgrades
@@ -210,13 +251,13 @@ func (d *Directory) Read(pid int, line uint64) ReadResult {
 			}
 			sh := d.sharerWords(id)
 			setBit(sh, int(owner))
-			d.owner[id] = noProc
+			d.setOwner(id, noProc)
 			setBit(sh, pid)
-			d.recordDependence(pid, line, id, d.lwid[id] == owner)
+			d.recordDependence(pid, line, id, d.getLWID(id) == owner)
 			return ReadResult{Data: data, State: cache.Shared, Latency: lat}
 		}
 		// Stale owner (silent clean eviction): fall through to memory.
-		d.owner[id] = noProc
+		d.setOwner(id, noProc)
 	}
 
 	d.recordDependence(pid, line, id, false)
@@ -252,8 +293,8 @@ func (d *Directory) Read(pid int, line uint64) ReadResult {
 	// No other copies: grant Exclusive (RDX). Like a write, this sets
 	// LW-ID, because the processor may write silently later.
 	clearWords(sh)
-	d.owner[id] = int32(pid)
-	d.lwid[id] = int32(pid)
+	d.setOwner(id, int32(pid))
+	d.setLWID(id, int32(pid))
 	return ReadResult{Data: data, State: cache.Exclusive, Latency: lat}
 }
 
@@ -269,7 +310,7 @@ type WriteResult struct {
 // Modified and inserts the line in its current WSIG.
 func (d *Directory) Write(pid int, line uint64) WriteResult {
 	id := d.entryID(line)
-	d.dirty.Mark(int(id))
+	d.mark(id)
 	home := d.topo.Home(line)
 	lat := d.topo.Latency(pid, home)
 	d.st.CohMessages++ // request
@@ -279,10 +320,10 @@ func (d *Directory) Write(pid int, line uint64) WriteResult {
 	// The dependence query rides for free on messages the transaction
 	// already sends when the LW-ID processor is the recalled owner or
 	// one of the invalidated sharers.
-	lw := d.lwid[id]
-	piggy := lw != noProc && (lw == d.owner[id] || testBit(d.sharerWords(id), int(lw)))
+	lw := d.getLWID(id)
+	piggy := lw != noProc && (lw == d.getOwner(id) || testBit(d.sharerWords(id), int(lw)))
 
-	if owner := d.owner[id]; owner != noProc && int(owner) != pid {
+	if owner := d.getOwner(id); owner != noProc && int(owner) != pid {
 		if od, _, _, ok := d.nodes[owner].Recall(line, true); ok {
 			// Dirty (or clean-exclusive) copy migrates cache-to-cache;
 			// memory is not updated — the old value reaches the log
@@ -291,7 +332,7 @@ func (d *Directory) Write(pid int, line uint64) WriteResult {
 			lat += d.topo.Latency(home, int(owner)) + d.L2HitCycles + d.topo.Latency(int(owner), pid)
 			data, gotData = od, true
 		}
-		d.owner[id] = noProc
+		d.setOwner(id, noProc)
 	}
 
 	// Invalidate all other sharers; latency is the worst sharer round
@@ -328,7 +369,7 @@ func (d *Directory) Write(pid int, line uint64) WriteResult {
 
 	if !gotData {
 		switch {
-		case wasSharer || d.owner[id] == int32(pid):
+		case wasSharer || d.getOwner(id) == int32(pid):
 			// Upgrade: requester already has the data.
 			d.st.CohMessages++ // grant
 			lat += d.topo.Latency(home, pid)
@@ -349,8 +390,8 @@ func (d *Directory) Write(pid int, line uint64) WriteResult {
 
 	d.recordDependence(pid, line, id, piggy)
 	clearWords(d.sharerWords(id)) // re-fetched: callbacks ran since sh
-	d.owner[id] = int32(pid)
-	d.lwid[id] = int32(pid)
+	d.setOwner(id, int32(pid))
+	d.setLWID(id, int32(pid))
 	return WriteResult{Data: data, Latency: lat}
 }
 
@@ -360,9 +401,9 @@ func (d *Directory) Write(pid int, line uint64) WriteResult {
 // cleared (§3.3.1: clearing it would lose dependence tracking).
 func (d *Directory) WritebackEvict(pid int, line uint64, data mem.Word, epoch uint64) sim.Cycle {
 	id := d.entryID(line)
-	d.dirty.Mark(int(id))
-	if d.owner[id] == int32(pid) {
-		d.owner[id] = noProc
+	d.mark(id)
+	if d.getOwner(id) == int32(pid) {
+		d.setOwner(id, noProc)
 	}
 	clrBit(d.sharerWords(id), pid)
 	d.st.CohMessages++ // writeback message
@@ -385,9 +426,11 @@ func (d *Directory) WritebackRetain(pid int, line uint64, data mem.Word, epoch u
 
 // DropShared records the silent eviction of a clean shared line.
 func (d *Directory) DropShared(pid int, line uint64) {
-	if id, ok := d.tab.Lookup(line); ok && int(id) < len(d.owner) {
-		d.dirty.Mark(int(id))
-		clrBit(d.sharerWords(id), pid)
+	if id, ok := d.tab.Lookup(line); ok {
+		if d.sh.Slot(id) < len(d.owner[d.sh.Shard(id)]) {
+			d.mark(id)
+			clrBit(d.sharerWords(id), pid)
+		}
 	}
 }
 
@@ -395,34 +438,177 @@ func (d *Directory) DropShared(pid int, line uint64) {
 // sharer bits are dropped and LW-IDs pointing at pid are cleared. Used
 // on rollback, after pid's caches are invalidated (§3.3.5).
 func (d *Directory) DetachProc(pid int) {
-	d.dirty.MarkAll()
-	for id := range d.owner {
-		if d.owner[id] == int32(pid) {
-			d.owner[id] = noProc
-		}
-		if d.lwid[id] == int32(pid) {
-			d.lwid[id] = noProc
-		}
-	}
 	w, bit := pid>>6, uint64(1)<<uint(pid&63)
-	for off := w; off < len(d.sharers); off += d.wpp {
-		d.sharers[off] &^= bit
+	for shd := range d.owner {
+		d.dirty[shd].MarkAll()
+		for sl := range d.owner[shd] {
+			if d.owner[shd][sl] == int32(pid) {
+				d.owner[shd][sl] = noProc
+			}
+			if d.lwid[shd][sl] == int32(pid) {
+				d.lwid[shd][sl] = noProc
+			}
+		}
+		for off := w; off < len(d.sharers[shd]); off += d.wpp {
+			d.sharers[shd][off] &^= bit
+		}
 	}
 }
 
-// Snapshot is a saved directory image: the flat per-line state arrays.
-// Save reuses its storage across captures.
+// Snapshot is a saved directory image: the per-shard per-line state
+// arrays. Save reuses its storage across captures. FlatImage /
+// LoadFlatImage convert to and from the historical flat ID-indexed
+// layout for the persistent codec.
 type Snapshot struct {
-	Owner   []int32
-	LWID    []int32
-	Sharers []uint64
+	owner   [][]int32
+	lwid    [][]int32
+	sharers [][]uint64
+	wpp     int
+}
+
+// NumShards returns the number of captured shards (0 for an empty
+// snapshot).
+func (s *Snapshot) NumShards() int { return len(s.owner) }
+
+// WPP returns the captured sharer-bitmap words per line.
+func (s *Snapshot) WPP() int { return s.wpp }
+
+// ShardArrays returns the captured arrays of one shard (not copies; the
+// caller must not mutate them). Used by the persistent codec.
+func (s *Snapshot) ShardArrays(i int) (owner, lwid []int32, sharers []uint64) {
+	return s.owner[i], s.lwid[i], s.sharers[i]
+}
+
+// SetShards installs captured per-shard arrays directly (persistent
+// codec decode path). The three outer slices must have equal length and
+// each shard's sharers must hold wpp words per entry.
+func (s *Snapshot) SetShards(owner, lwid [][]int32, sharers [][]uint64, wpp int) error {
+	if len(owner) != len(lwid) || len(owner) != len(sharers) {
+		return fmt.Errorf("coherence: snapshot shard arrays disagree (%d/%d/%d shards)",
+			len(owner), len(lwid), len(sharers))
+	}
+	for i := range owner {
+		if len(owner[i]) != len(lwid[i]) || len(sharers[i]) != len(owner[i])*wpp {
+			return fmt.Errorf("coherence: snapshot shard %d arrays disagree (%d owners, %d lwids, %d sharer words, wpp %d)",
+				i, len(owner[i]), len(lwid[i]), len(sharers[i]), wpp)
+		}
+	}
+	s.owner, s.lwid, s.sharers, s.wpp = owner, lwid, sharers, wpp
+	return nil
+}
+
+// FlatImage returns the capture as flat ID-indexed arrays — the
+// historical single-shard snapshot layout. For a single-shard capture
+// the arrays are the shard's own (zero-copy).
+func (s *Snapshot) FlatImage() (owner, lwid []int32, sharers []uint64) {
+	if len(s.owner) <= 1 {
+		if len(s.owner) == 0 {
+			return nil, nil, nil
+		}
+		return s.owner[0], s.lwid[0], s.sharers[0]
+	}
+	sh := mem.NewSharding(len(s.owner))
+	limit := 0
+	for i := range s.owner {
+		if n := len(s.owner[i]); n > 0 {
+			if id := int(sh.ID(i, n-1)) + 1; id > limit {
+				limit = id
+			}
+		}
+	}
+	owner = make([]int32, limit)
+	lwid = make([]int32, limit)
+	sharers = make([]uint64, limit*s.wpp)
+	for id := 0; id < limit; id++ {
+		shd, sl := sh.Shard(int32(id)), sh.Slot(int32(id))
+		if sl >= len(s.owner[shd]) {
+			owner[id], lwid[id] = noProc, noProc
+			continue
+		}
+		owner[id] = s.owner[shd][sl]
+		lwid[id] = s.lwid[shd][sl]
+		copy(sharers[id*s.wpp:(id+1)*s.wpp], s.sharers[shd][sl*s.wpp:(sl+1)*s.wpp])
+	}
+	return owner, lwid, sharers
+}
+
+// LoadFlatImage installs flat ID-indexed arrays, scattering them into
+// sh's layout (persistent codec decode path; single-shard captures
+// adopt the slices directly).
+func (s *Snapshot) LoadFlatImage(sh mem.Sharding, owner, lwid []int32, sharers []uint64, wpp int) error {
+	if len(owner) != len(lwid) || len(sharers) != len(owner)*wpp {
+		return fmt.Errorf("coherence: flat snapshot arrays disagree (%d owners, %d lwids, %d sharer words, wpp %d)",
+			len(owner), len(lwid), len(sharers), wpp)
+	}
+	s.wpp = wpp
+	if sh.N() == 1 {
+		s.owner = [][]int32{owner}
+		s.lwid = [][]int32{lwid}
+		s.sharers = [][]uint64{sharers}
+		return nil
+	}
+	s.owner = make([][]int32, sh.N())
+	s.lwid = make([][]int32, sh.N())
+	s.sharers = make([][]uint64, sh.N())
+	for i := range s.owner {
+		n := sh.SlotsFor(len(owner), i)
+		s.owner[i] = make([]int32, n)
+		s.lwid[i] = make([]int32, n)
+		s.sharers[i] = make([]uint64, n*wpp)
+	}
+	for id := range owner {
+		shd, sl := sh.Shard(int32(id)), sh.Slot(int32(id))
+		s.owner[shd][sl] = owner[id]
+		s.lwid[shd][sl] = lwid[id]
+		copy(s.sharers[shd][sl*wpp:(sl+1)*wpp], sharers[id*wpp:(id+1)*wpp])
+	}
+	return nil
+}
+
+// prepare sizes s for n shards, keeping per-shard storage.
+func (s *Snapshot) prepare(n, wpp int) {
+	grow := func(dst [][]int32) [][]int32 {
+		if cap(dst) < n {
+			old := dst
+			dst = make([][]int32, n)
+			copy(dst, old)
+		} else {
+			dst = dst[:n]
+		}
+		return dst
+	}
+	s.owner = grow(s.owner)
+	s.lwid = grow(s.lwid)
+	if cap(s.sharers) < n {
+		old := s.sharers
+		s.sharers = make([][]uint64, n)
+		copy(s.sharers, old)
+	} else {
+		s.sharers = s.sharers[:n]
+	}
+	s.wpp = wpp
 }
 
 // Save copies the per-line state into s.
 func (d *Directory) Save(s *Snapshot) {
-	s.Owner = append(s.Owner[:0], d.owner...)
-	s.LWID = append(s.LWID[:0], d.lwid...)
-	s.Sharers = append(s.Sharers[:0], d.sharers...)
+	d.SavePrepare(s)
+	for i := range d.owner {
+		d.SaveShard(s, i)
+	}
+}
+
+// SavePrepare sizes s for a per-shard parallel save (machine snapshot
+// executor): after it returns, SaveShard calls for distinct shards are
+// safe concurrently.
+func (d *Directory) SavePrepare(s *Snapshot) { s.prepare(len(d.owner), d.wpp) }
+
+// SaveShard copies one shard's per-line state into s. The caller must
+// have sized s with SavePrepare; distinct shards may be saved
+// concurrently (disjoint storage).
+func (d *Directory) SaveShard(s *Snapshot, i int) {
+	s.owner[i] = append(s.owner[i][:0], d.owner[i]...)
+	s.lwid[i] = append(s.lwid[i][:0], d.lwid[i]...)
+	s.sharers[i] = append(s.sharers[i][:0], d.sharers[i]...)
 }
 
 // Load restores the per-line state from s. Entries grown past the
@@ -430,22 +616,31 @@ func (d *Directory) Save(s *Snapshot) {
 // untouched defaults a fresh build would hold for them; a colder
 // directory grows to the captured size.
 func (d *Directory) Load(s *Snapshot) {
-	for len(d.owner) < len(s.Owner) {
-		d.owner = append(d.owner, noProc)
-		d.lwid = append(d.lwid, noProc)
-		for i := 0; i < d.wpp; i++ {
-			d.sharers = append(d.sharers, 0)
+	for i := range d.owner {
+		d.LoadShard(s, i)
+	}
+}
+
+// LoadShard restores one shard from s (full copy). Distinct shards may
+// be loaded concurrently.
+func (d *Directory) LoadShard(s *Snapshot, i int) {
+	so, sl, ss := s.owner[i], s.lwid[i], s.sharers[i]
+	for len(d.owner[i]) < len(so) {
+		d.owner[i] = append(d.owner[i], noProc)
+		d.lwid[i] = append(d.lwid[i], noProc)
+		for k := 0; k < d.wpp; k++ {
+			d.sharers[i] = append(d.sharers[i], 0)
 		}
 	}
-	copy(d.owner, s.Owner)
-	copy(d.lwid, s.LWID)
-	copy(d.sharers, s.Sharers)
-	for i := len(s.Owner); i < len(d.owner); i++ {
-		d.owner[i] = noProc
-		d.lwid[i] = noProc
+	copy(d.owner[i], so)
+	copy(d.lwid[i], sl)
+	copy(d.sharers[i], ss)
+	for k := len(so); k < len(d.owner[i]); k++ {
+		d.owner[i][k] = noProc
+		d.lwid[i][k] = noProc
 	}
-	clear(d.sharers[len(s.Sharers):])
-	d.dirty.Clear()
+	clear(d.sharers[i][len(ss):])
+	d.dirty[i].Clear()
 }
 
 // LoadDelta restores the per-line state from s touching only the
@@ -454,30 +649,40 @@ func (d *Directory) Load(s *Snapshot) {
 // Load. Entries past the captured size revert to the untouched
 // defaults, exactly as in Load.
 func (d *Directory) LoadDelta(s *Snapshot) {
-	n := len(s.Owner)
-	if d.dirty.All() || len(d.owner) < n {
-		d.Load(s)
+	for i := range d.owner {
+		d.LoadDeltaShard(s, i)
+	}
+}
+
+// LoadDeltaShard restores one shard from s copying only the pages
+// marked dirty since the last load. Distinct shards may be loaded
+// concurrently; a live shard shorter than the capture falls back to a
+// full load.
+func (d *Directory) LoadDeltaShard(s *Snapshot, i int) {
+	n := len(s.owner[i])
+	if d.dirty[i].All() || len(d.owner[i]) < n {
+		d.LoadShard(s, i)
 		return
 	}
-	d.dirty.Pages(len(d.owner), func(lo, hi int) {
+	d.dirty[i].Pages(len(d.owner[i]), func(lo, hi int) {
 		end := hi
 		if end > n {
 			end = n
 		}
 		if lo < n {
-			copy(d.owner[lo:end], s.Owner[lo:end])
-			copy(d.lwid[lo:end], s.LWID[lo:end])
-			copy(d.sharers[lo*d.wpp:end*d.wpp], s.Sharers[lo*d.wpp:end*d.wpp])
+			copy(d.owner[i][lo:end], s.owner[i][lo:end])
+			copy(d.lwid[i][lo:end], s.lwid[i][lo:end])
+			copy(d.sharers[i][lo*d.wpp:end*d.wpp], s.sharers[i][lo*d.wpp:end*d.wpp])
 		}
-		for i := max(lo, n); i < hi; i++ {
-			d.owner[i] = noProc
-			d.lwid[i] = noProc
+		for k := max(lo, n); k < hi; k++ {
+			d.owner[i][k] = noProc
+			d.lwid[i][k] = noProc
 		}
 		if hi > n {
-			clear(d.sharers[max(lo, n)*d.wpp : hi*d.wpp])
+			clear(d.sharers[i][max(lo, n)*d.wpp : hi*d.wpp])
 		}
 	})
-	d.dirty.Clear()
+	d.dirty[i].Clear()
 }
 
 // Reset reverts every directory entry to its untouched state in place,
@@ -485,11 +690,13 @@ func (d *Directory) LoadDelta(s *Snapshot) {
 // so the arrays keep their length.
 func (d *Directory) Reset() {
 	for i := range d.owner {
-		d.owner[i] = noProc
-		d.lwid[i] = noProc
+		for k := range d.owner[i] {
+			d.owner[i][k] = noProc
+			d.lwid[i][k] = noProc
+		}
+		clear(d.sharers[i])
+		d.dirty[i].MarkAll()
 	}
-	clear(d.sharers)
-	d.dirty.MarkAll()
 }
 
 // CheckInvariants validates the directory against the actual cache
@@ -499,26 +706,30 @@ func (d *Directory) Reset() {
 // currently has a valid copy of line; dirtyAt reports whether it is
 // dirty. Panics on violation; used by tests and debug runs.
 func (d *Directory) CheckInvariants(holds func(pid int, line uint64) (present, dirty bool)) {
-	for id := range d.owner {
-		line := d.tab.Addr(int32(id))
-		sh := d.sharerWords(int32(id))
-		if d.owner[id] != noProc && !wordsEmpty(sh) {
-			panic(fmt.Sprintf("coherence: line %#x owned by %d but has sharers", line, d.owner[id]))
-		}
-		for wi, w := range sh {
-			for w != 0 {
-				s := wi<<6 + bits.TrailingZeros64(w)
-				w &= w - 1
-				if present, dirty := holds(s, line); present && dirty {
-					panic(fmt.Sprintf("coherence: line %#x dirty at sharer %d", line, s))
+	for shd := range d.owner {
+		for sl := range d.owner[shd] {
+			id := d.sh.ID(shd, sl)
+			line := d.tab.Addr(id)
+			sh := d.sharerWords(id)
+			owner := d.owner[shd][sl]
+			if owner != noProc && !wordsEmpty(sh) {
+				panic(fmt.Sprintf("coherence: line %#x owned by %d but has sharers", line, owner))
+			}
+			for wi, w := range sh {
+				for w != 0 {
+					s := wi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					if present, dirty := holds(s, line); present && dirty {
+						panic(fmt.Sprintf("coherence: line %#x dirty at sharer %d", line, s))
+					}
 				}
 			}
-		}
-		if d.owner[id] != noProc {
-			// A silently evicted clean-exclusive line is allowed; a
-			// dirty line must never vanish without a writeback.
-			if present, _ := holds(int(d.owner[id]), line); !present {
-				continue
+			if owner != noProc {
+				// A silently evicted clean-exclusive line is allowed; a
+				// dirty line must never vanish without a writeback.
+				if present, _ := holds(int(owner), line); !present {
+					continue
+				}
 			}
 		}
 	}

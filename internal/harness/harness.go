@@ -19,6 +19,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -81,6 +82,13 @@ type Spec struct {
 	WSIGBits int
 	DepSets  int
 	LogAllWB bool
+	// Shards is the machine's state-partition count (machine.Config
+	// Shards): 0 and 1 are the unsharded layout, larger powers of two
+	// split the memory/log/directory state per home proc-group. The
+	// axis changes snapshot/restore parallelism, never results —
+	// DeriveSeed ignores it so every shard count replays identical
+	// streams and reports byte-identical stats.
+	Shards int
 }
 
 // Result is the outcome of one run.
@@ -174,6 +182,9 @@ func (s Spec) Validate() error {
 	if s.IOForce > MaxIOForce {
 		return fmt.Errorf("harness: ioforce %d out of range [0, %d]", s.IOForce, uint64(MaxIOForce))
 	}
+	if s.Shards < 0 || s.Shards > mem.MaxShards || (s.Shards > 1 && s.Shards&(s.Shards-1) != 0) {
+		return fmt.Errorf("harness: shards %d must be a power of two in [0, %d]", s.Shards, mem.MaxShards)
+	}
 	return nil
 }
 
@@ -235,6 +246,7 @@ func BuildIn(arena *cache.Arena, spec Spec) (*machine.Machine, error) {
 	if spec.DepSets > 0 {
 		cfg.DepSets = spec.DepSets
 	}
+	cfg.Shards = spec.Shards
 	m := machine.NewIn(arena, cfg, prof, sch)
 	if spec.LogAllWB {
 		m.Ctrl.Log().AlwaysLog = true

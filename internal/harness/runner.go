@@ -28,8 +28,16 @@ import (
 // influence the simulation, in a fixed order. Two specs with equal keys
 // produce identical Results and share one cache slot.
 func (s Spec) Key() string {
-	return fmt.Sprintf("%s|p=%d|%s|io=%d|wsig=%d|dep=%d|awb=%t|%s|seed=%d|instr=%d|int=%d|L=%d|pl=%d|ps=%d",
-		s.App, s.Procs, s.Scheme, s.IOForce, s.WSIGBits, s.DepSets, s.LogAllWB,
+	// Shards 0 and 1 are both the unsharded layout — and every shard
+	// count computes the same results — but the count changes the
+	// machine's in-memory snapshot layout, so it is part of the cell
+	// identity (canonicalised so 0 and 1 share one cell).
+	sh := s.Shards
+	if sh <= 1 {
+		sh = 1
+	}
+	return fmt.Sprintf("%s|p=%d|%s|io=%d|wsig=%d|dep=%d|awb=%t|sh=%d|%s|seed=%d|instr=%d|int=%d|L=%d|pl=%d|ps=%d",
+		s.App, s.Procs, s.Scheme, s.IOForce, s.WSIGBits, s.DepSets, s.LogAllWB, sh,
 		s.Scale.Name, s.Scale.Seed, s.Scale.InstrPerProc, s.Scale.Interval,
 		uint64(s.Scale.DetectLatency), s.Scale.ProcsLarge, s.Scale.ProcsSmall)
 }

@@ -1,14 +1,5 @@
-// Package machine assembles the Rebound manycore substrate of Fig 3.1:
-// single-issue cores with private write-through L1s and write-back L2s,
-// a full-map directory per tile, two off-chip memory channels with the
-// ReVive-style logging controller, and a synchronisation runtime that
-// expands barriers and locks into real shared-memory accesses (so they
-// create the dependence chains of Fig 4.2b).
-//
-// The checkpointing schemes themselves (Global, Rebound and variants)
-// live in internal/core and drive the machine through the Scheme
-// interface and the processor-level primitives (pause/resume, snapshot,
-// foreground/background writeback, rollback).
+// Machine assembly: the Rebound manycore substrate of Fig 3.1 (see
+// doc.go for the package overview).
 package machine
 
 import (
@@ -60,6 +51,32 @@ type Config struct {
 
 	// Seed drives all pseudo-randomness.
 	Seed uint64
+
+	// Shards is the number of home proc-group state partitions the
+	// memory, undo log and directory carve their line-indexed state
+	// into (mem.Sharding). 0 and 1 both mean the historical unsharded
+	// layout; larger counts must be powers of two ≤ mem.MaxShards.
+	// The partition count changes how state is stored and how much
+	// snapshot/restore parallelism is available — never what the
+	// machine computes: reports are byte-identical across shard counts.
+	Shards int
+}
+
+// shardCount returns the canonical shard count of c (0 ≡ 1).
+func (c Config) shardCount() int {
+	if c.Shards <= 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+// sameConfig reports whether two configs describe the same machine
+// shape, treating Shards 0 and 1 as equal (both are the unsharded
+// layout; snapshots between them are interchangeable).
+func sameConfig(a, b Config) bool {
+	a.Shards = a.shardCount()
+	b.Shards = b.shardCount()
+	return a == b
 }
 
 // DefaultConfig returns the scaled Fig 4.3(a) configuration.
@@ -186,9 +203,11 @@ func NewIn(arena *cache.Arena, cfg Config, prof *workload.Profile, scheme Scheme
 	eng := sim.NewEngine()
 	st := stats.New(cfg.NProcs)
 	tp := topo.New(cfg.NProcs)
-	memory := mem.NewMemory()
+	sharding := mem.NewSharding(cfg.shardCount())
+	tab := mem.NewLineTable()
+	memory := mem.NewMemorySharded(tab, sharding)
 	dram := mem.NewDRAM(eng, st, cfg.MemChannels)
-	log := mem.NewLog(st, cfg.LogBanks)
+	log := mem.NewLogSharded(st, cfg.LogBanks, tab, sharding)
 	ctrl := mem.NewController(eng, st, memory, dram, log)
 
 	m := &Machine{Cfg: cfg, Eng: eng, St: st, Topo: tp, Ctrl: ctrl, Scheme: scheme, prof: prof}

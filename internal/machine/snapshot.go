@@ -171,18 +171,14 @@ func (m *Machine) Snapshot(s *MachineSnapshot) error {
 	}
 	m.St.CopyInto(s.st)
 	s.tab = append(s.tab[:0], m.Ctrl.Memory().Table().Addrs()...)
-	m.Ctrl.Memory().Save(&s.mem)
-	m.Ctrl.Log().Save(&s.log)
-	m.Ctrl.DRAM().Save(&s.dram)
-	m.Dir.Save(&s.dir)
 	if cap(s.procs) < len(m.Procs) {
 		s.procs = make([]procSnapshot, len(m.Procs))
 	} else {
 		s.procs = s.procs[:len(m.Procs)]
 	}
-	for i, p := range m.Procs {
-		p.saveState(&s.procs[i])
-	}
+	// Per-proc and per-shard state decomposes into disjoint tasks; the
+	// parallel executor fans them across cores (shardexec.go).
+	m.saveParallel(s)
 	if sc, ok := m.Scheme.(SchemeSnapshotter); ok {
 		s.scheme = sc.SchemeSnapshot()
 	} else {
@@ -215,7 +211,7 @@ func (m *Machine) Restore(s *MachineSnapshot) error {
 	if !s.valid {
 		return fmt.Errorf("machine: restore from an empty snapshot")
 	}
-	if s.cfg != m.Cfg {
+	if !sameConfig(s.cfg, m.Cfg) {
 		return fmt.Errorf("machine: snapshot config mismatch")
 	}
 	if err := m.Ctrl.Memory().Table().AdoptPrefix(s.tab); err != nil {
@@ -224,19 +220,9 @@ func (m *Machine) Restore(s *MachineSnapshot) error {
 	m.Eng.Load(s.now, s.seq, s.events, m.resolveTag)
 	m.totalInstr, m.targetInstr = s.totalInstr, s.targetInstr
 	s.st.CopyInto(m.St)
-	if m.restoredFrom == s && m.restoredGen == s.gen {
-		m.Ctrl.Memory().LoadDelta(&s.mem)
-		m.Ctrl.Log().LoadDelta(&s.log)
-		m.Dir.LoadDelta(&s.dir)
-	} else {
-		m.Ctrl.Memory().Load(&s.mem)
-		m.Ctrl.Log().Load(&s.log)
-		m.Dir.Load(&s.dir)
-	}
-	m.Ctrl.DRAM().Load(&s.dram)
-	for i, p := range m.Procs {
-		p.loadState(&s.procs[i])
-	}
+	// Per-proc and per-shard state loads as disjoint parallel tasks
+	// (shardexec.go); the delta flag selects the copy-on-write path.
+	m.loadParallel(s, m.restoredFrom == s && m.restoredGen == s.gen)
 	m.OnTaint = nil
 	if sc, ok := m.Scheme.(SchemeSnapshotter); ok {
 		sc.SchemeRestore(s.scheme)

@@ -180,6 +180,10 @@ type RunRequest struct {
 	WSIGBits int    `json:"wsigbits,omitempty"`
 	DepSets  int    `json:"depsets,omitempty"`
 	LogAllWB bool   `json:"logallwb,omitempty"`
+	// Shards selects the machine's state-partition count (power of
+	// two; 0/1 = unsharded). It changes snapshot parallelism, never
+	// results.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Spec resolves the request against the server's default scale and
@@ -199,7 +203,7 @@ func (rr RunRequest) Spec(def harness.Scale) (harness.Spec, error) {
 	spec := harness.Spec{
 		App: rr.App, Procs: procs, Scheme: rr.Scheme, Scale: sc,
 		IOForce: rr.IOForce, WSIGBits: rr.WSIGBits, DepSets: rr.DepSets,
-		LogAllWB: rr.LogAllWB,
+		LogAllWB: rr.LogAllWB, Shards: rr.Shards,
 	}
 	return spec, spec.Validate()
 }

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// xshard is one shard of the synthetic cross-shard model used by the
+// equivalence tests: a deterministic LCG-driven workload where every
+// firing mutates shard-local state, records a trace entry, schedules a
+// local follow-up, and occasionally sends a payload to another shard.
+// Delivered payloads mutate the destination's RNG, so the model's trace
+// is sensitive to the exact interleaving of local events and barrier-
+// injected messages — any nondeterminism in the executor changes the
+// trace bytes.
+type xshard struct {
+	se    *ShardedEngine
+	id    int
+	n     int
+	rng   uint64
+	fired int
+	limit int
+	trace []uint64
+}
+
+func (s *xshard) next() uint64 {
+	s.rng = s.rng*6364136223846793005 + 1442695040888963407
+	return s.rng
+}
+
+func (s *xshard) step() {
+	eng := s.se.Shard(s.id)
+	r := s.next()
+	s.trace = append(s.trace, eng.Now(), r)
+	s.fired++
+	if s.fired < s.limit {
+		eng.Schedule(1+Cycle(r%5), s.step)
+	}
+	if s.n > 1 && r%7 == 0 {
+		dstID := (s.id + 1 + int(r%uint64(s.n-1))) % s.n
+		payload := r >> 13
+		s.se.Send(s.id, dstID, s.se.Window()+Cycle(r%9), func() {
+			// Runs on shard dstID; touches only that shard's state.
+			d := shardOf(s.se, dstID)
+			d.rng ^= payload
+			d.trace = append(d.trace, s.se.Shard(dstID).Now(), d.rng)
+		})
+	}
+}
+
+// shardOf finds the xshard bound to engine shard id (stashed on the
+// model slice via closure in runModel; this indirection keeps the Send
+// closure from capturing cross-shard pointers at construction time in
+// a way that would obscure what state it touches).
+var modelShards map[*ShardedEngine][]*xshard
+
+func shardOf(se *ShardedEngine, id int) *xshard { return modelShards[se][id] }
+
+// runModel builds an n-shard model, runs it to quiescence, and returns
+// the per-shard traces plus the final frontier.
+func runModel(n int, window Cycle, parallel bool, firesPerShard int) ([][]uint64, Cycle) {
+	se := NewShardedEngine(n, window)
+	se.Parallel = parallel
+	shards := make([]*xshard, n)
+	if modelShards == nil {
+		modelShards = make(map[*ShardedEngine][]*xshard)
+	}
+	modelShards[se] = shards
+	defer delete(modelShards, se)
+	for i := range shards {
+		shards[i] = &xshard{se: se, id: i, n: n, rng: 0x9e3779b9 + uint64(i)*0xbf58476d, limit: firesPerShard}
+		s := shards[i]
+		se.Shard(i).Schedule(Cycle(i+1), s.step)
+	}
+	se.Run(0)
+	traces := make([][]uint64, n)
+	for i, s := range shards {
+		traces[i] = s.trace
+	}
+	return traces, se.Now()
+}
+
+// TestShardedParallelMatchesSequential is the headline determinism
+// claim: the parallel epoch executor produces traces byte-identical to
+// the sequential reference (shards advanced in index order), across
+// shard counts and GOMAXPROCS settings, under -race.
+func TestShardedParallelMatchesSequential(t *testing.T) {
+	const fires = 400
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, window := range []Cycle{1, 8} {
+			ref, refNow := runModel(n, window, false, fires)
+			for _, procs := range []int{1, runtime.NumCPU()} {
+				t.Run(fmt.Sprintf("shards=%d/window=%d/procs=%d", n, window, procs), func(t *testing.T) {
+					old := runtime.GOMAXPROCS(procs)
+					defer runtime.GOMAXPROCS(old)
+					got, gotNow := runModel(n, window, true, fires)
+					if gotNow != refNow {
+						t.Fatalf("frontier diverged: parallel %d, sequential %d", gotNow, refNow)
+					}
+					if !reflect.DeepEqual(got, ref) {
+						t.Fatalf("traces diverged from sequential reference")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedSingleShardMatchesEngine pins the degenerate case: a
+// 1-shard ShardedEngine running a purely local workload fires the same
+// events at the same cycles as a plain Engine.
+func TestShardedSingleShardMatchesEngine(t *testing.T) {
+	model := func(sched func(delay Cycle, fn func()), now func() Cycle) []uint64 {
+		var trace []uint64
+		rng := uint64(12345)
+		fired := 0
+		var step func()
+		step = func() {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			trace = append(trace, now(), rng)
+			if fired++; fired < 300 {
+				sched(1+Cycle(rng%7), step)
+			}
+		}
+		sched(1, step)
+		return trace
+	}
+
+	plain := NewEngine()
+	var plainTrace []uint64
+	plainTrace = model(plain.Schedule, plain.Now)
+	plain.Run(0)
+
+	se := NewShardedEngine(1, 4)
+	se.Parallel = true
+	var shTrace []uint64
+	shTrace = model(se.Shard(0).Schedule, se.Shard(0).Now)
+	se.Run(0)
+
+	if !reflect.DeepEqual(plainTrace, shTrace) {
+		t.Fatalf("1-shard ShardedEngine diverged from plain Engine")
+	}
+	if plain.Now() != se.Shard(0).Now() {
+		t.Fatalf("final clocks diverged: engine %d, sharded %d", plain.Now(), se.Shard(0).Now())
+	}
+}
+
+// TestShardedMergeOrder pins the barrier's deterministic injection
+// order for same-cycle deliveries: (deliverAt, source shard, per-source
+// sequence).
+func TestShardedMergeOrder(t *testing.T) {
+	se := NewShardedEngine(3, 10)
+	var got []string
+	se.Shard(1).Schedule(5, func() {
+		se.Send(1, 2, 10, func() { got = append(got, "s1a") })
+		se.Send(1, 2, 10, func() { got = append(got, "s1b") })
+	})
+	se.Shard(0).Schedule(5, func() {
+		se.Send(0, 2, 10, func() { got = append(got, "s0") })
+	})
+	se.Run(0)
+	want := []string{"s0", "s1a", "s1b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order = %v, want %v", got, want)
+	}
+}
+
+// TestShardedSendBelowWindowPanics: a cross-shard delay under the
+// lookahead window would let a message land inside the epoch it was
+// sent in, silently breaking determinism — it must panic instead.
+func TestShardedSendBelowWindowPanics(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send with delay below the window did not panic")
+		}
+	}()
+	se.Send(0, 1, 7, func() {})
+}
+
+// TestShardedRunLimit: Run(limit) leaves events beyond the limit
+// pending and parks the frontier at the limit, like Engine.Run.
+func TestShardedRunLimit(t *testing.T) {
+	se := NewShardedEngine(2, 4)
+	fired := 0
+	se.Shard(0).Schedule(3, func() { fired++ })
+	se.Shard(1).Schedule(100, func() { fired++ })
+	if now := se.Run(50); now != 50 {
+		t.Fatalf("Run(50) = %d, want 50", now)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events before the limit, want 1", fired)
+	}
+	if se.Pending() != 1 {
+		t.Fatalf("%d events pending, want 1", se.Pending())
+	}
+	if now := se.Run(0); now < 100 {
+		t.Fatalf("resumed Run stopped at %d, want >= 100", now)
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d events total, want 2", fired)
+	}
+}
+
+// TestShardedReset: Reset returns the executor to a reusable zero
+// state and a rerun reproduces the original trace.
+func TestShardedReset(t *testing.T) {
+	se := NewShardedEngine(2, 4)
+	se.Shard(0).Schedule(1, func() {})
+	se.Run(0)
+	se.Reset()
+	if se.Now() != 0 || se.Pending() != 0 {
+		t.Fatalf("after Reset: now=%d pending=%d, want 0/0", se.Now(), se.Pending())
+	}
+}
