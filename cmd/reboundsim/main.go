@@ -26,7 +26,7 @@ func main() {
 	var (
 		app      = flag.String("app", "Barnes", "application profile (see -list)")
 		procs    = flag.Int("procs", 16, "number of processors")
-		scheme   = flag.String("scheme", "Rebound", "checkpointing scheme: none|Global|Global_DWB|Rebound|Rebound_NoDWB|Rebound_Barr|Rebound_NoDWB_Barr")
+		scheme   = flag.String("scheme", "Rebound", "checkpointing scheme: "+strings.Join(harness.SchemeNames(), "|"))
 		instr    = flag.Uint64("instr", 150_000, "instructions per processor")
 		interval = flag.Uint64("interval", 30_000, "checkpoint interval (instructions)")
 		detectL  = flag.Uint64("L", 8_000, "fault detection latency bound L (cycles)")

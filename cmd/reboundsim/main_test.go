@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets a test re-exec this binary as reboundsim: with
+// REBOUNDSIM_RUN_MAIN set, the process runs main() on the flags after
+// "--" instead of the test suite — the cheapest way to observe the
+// real exit code and stderr of the CLI's usage path.
+func TestMain(m *testing.M) {
+	if os.Getenv("REBOUNDSIM_RUN_MAIN") == "1" {
+		args := os.Args[:1]
+		for i, a := range os.Args {
+			if a == "--" {
+				args = append(args, os.Args[i+1:]...)
+				break
+			}
+		}
+		os.Args = args
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestUsageListsSchemeVocabulary pins the CLI's error contract: a bad
+// -scheme or -app exits 2 and prints the full vocabulary, including
+// every appended scheme (Rebound_2L must be advertised everywhere
+// Rebound is, or users cannot discover it).
+func TestUsageListsSchemeVocabulary(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad scheme", []string{"-scheme", "NoSuchScheme"}},
+		{"bad app", []string{"-app", "NoSuchApp"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(exe, append([]string{"--"}, tc.args...)...)
+			cmd.Env = append(os.Environ(), "REBOUNDSIM_RUN_MAIN=1")
+			var stderr bytes.Buffer
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("exit = %v, want exit code 2\nstderr: %s", err, stderr.String())
+			}
+			out := stderr.String()
+			for _, scheme := range []string{"none", "Global", "Rebound", "Rebound_2L"} {
+				if !strings.Contains(out, scheme) {
+					t.Errorf("usage output does not advertise scheme %q:\n%s", scheme, out)
+				}
+			}
+			if !strings.Contains(out, "valid applications:") || !strings.Contains(out, "valid schemes:") {
+				t.Errorf("usage output missing vocabulary sections:\n%s", out)
+			}
+		})
+	}
+}

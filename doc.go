@@ -88,6 +88,29 @@
 // on, and cmd/campaign -server submits and polls a campaign against
 // either deployment shape.
 //
+// Closing the loop over all of these is the optimizer layer,
+// internal/explore: a frontier search over the scheme space itself.
+// An explore.Spec crosses checkpointing schemes (including the
+// two-level Rebound_2L hierarchy) with checkpoint intervals and
+// machine knobs into a grid of cells, evaluates each cell through the
+// campaign engine (availability under fault injection) plus a
+// fault-free run (runtime overhead), and reports the Pareto frontier
+// of the availability/overhead tradeoff as an explore.FrontierReport.
+// The default strategy is successive halving: a cheap seeding rung
+// prunes cells another cell beats decisively — overhead is exact at
+// any trial count while availability carries Monte Carlo noise, so
+// the prune rule demands a decisive margin on one axis without losing
+// ground beyond the noise band on the other — and only survivors get
+// the full budget, with the spend ledgered against the exhaustive
+// grid cost in the report. Every cell evaluation persists in a shared
+// content-addressed namespace keyed by its campaign, so explorations
+// resume with zero re-evaluation and overlapping spaces share their
+// intersection; reports are byte-identical for identical Specs across
+// serial, parallel, restarted and clustered execution. cmd/explore is
+// the CLI and POST/GET /v1/explore the asynchronous service surface,
+// admitted alongside campaigns and routed through the cluster when
+// reboundd runs as a coordinator.
+//
 // See README.md for a quickstart, the runner API — including the
 // seed-derivation rule and how to reproduce figures in parallel versus
 // serial — and curl examples for the service and campaign endpoints.

@@ -111,7 +111,10 @@ func (s Spec) Validate() error {
 // v2: snapshot-engine semantics — warmup settles to a snapshot-safe
 // point, the trial is bounded by the fault window plus quiesce instead
 // of the full instruction budget, 2L cool-down.
-const trialSemantics = "v2"
+// v3: stats.Summary gained the p99 tail quantile — the Report schema
+// changed, and a v2-era stored report would be served with zero p99
+// fields next to freshly-computed non-zero ones.
+const trialSemantics = "v3"
 
 // Key returns the canonical identity of the campaign: the trial
 // semantics version, the base cell's canonical key and every

@@ -16,6 +16,15 @@ type ckptOp struct {
 	r         *Rebound
 	initiator int
 	io        bool
+	// outer marks a two-level outer (chip-wide) checkpoint: every
+	// processor is contacted unconditionally and the consumer-decline
+	// rule is suspended — the set is total by construction.
+	outer bool
+	// crossed records that a local two-level collection found a producer
+	// outside the initiator's group. The attempt is abandoned (treated
+	// like a Busy collision) and escalated to the outer level; a
+	// checkpoint excluding a transitive producer is never committed.
+	crossed bool
 
 	collecting bool
 	aborted    bool
@@ -50,8 +59,18 @@ func (op *ckptOp) orderedMembers() []int {
 	return ids
 }
 
-// initiateCkpt starts the protocol with ps as initiator.
+// initiateCkpt starts the protocol with ps as initiator. Under
+// TwoLevel an initiation is promoted to the outer level when the
+// outer period has elapsed or an escalation is latched; the promotion
+// lives here (not in IntervalExpired) so every initiation path —
+// including the I/O retry closure of releaseAll — converges on the
+// outer attempt instead of re-running a local attempt that would
+// cross the group boundary again and livelock.
 func (r *Rebound) initiateCkpt(ps *pstate, io bool) {
+	if r.opts.TwoLevel && (r.wantOuter || r.sinceOuter >= twoLevelOuterEvery) {
+		r.initiateOuter(ps, io)
+		return
+	}
 	op := &ckptOp{
 		r:          r,
 		initiator:  ps.p.ID(),
@@ -81,9 +100,50 @@ func (op *ckptOp) expand(q int) {
 		if op.contacted[pr] {
 			return
 		}
+		if r.opts.TwoLevel && !op.outer && r.group(pr) != r.group(op.initiator) {
+			// A local two-level collection never crosses the group
+			// boundary: committing without pr would break the
+			// committed-checkpoint invariant, so the attempt is marked
+			// for escalation instead (maybeStart abandons it).
+			op.crossed = true
+			return
+		}
 		op.contacted[pr] = true
 		op.pending++
 		r.m.Send(q, pr, func() { r.onCK(op, pr, q) })
+	})
+}
+
+// initiateOuter starts a two-level outer checkpoint: ps pauses, then
+// every other processor is contacted unconditionally (ascending id —
+// deterministic). The op reuses the whole ckptOp machinery; only the
+// collection rules differ (see onCK/onAccept).
+func (r *Rebound) initiateOuter(ps *pstate, io bool) {
+	op := &ckptOp{
+		r:          r,
+		initiator:  ps.p.ID(),
+		io:         io,
+		outer:      true,
+		collecting: true,
+		members:    map[int]*memberState{ps.p.ID(): {}},
+		contacted:  map[int]bool{ps.p.ID(): true},
+		start:      r.m.Now(),
+		recIdx:     -1,
+	}
+	r.setBusy(ps, true)
+	ps.cop = op
+	ps.p.RequestPause(func() {
+		ps.pausedAt = r.m.Now()
+		for id := range r.ps {
+			if op.contacted[id] {
+				continue
+			}
+			op.contacted[id] = true
+			op.pending++
+			id := id
+			r.m.Send(op.initiator, id, func() { r.onCK(op, id, op.initiator) })
+		}
+		op.maybeStart()
 	})
 }
 
@@ -108,8 +168,9 @@ func (r *Rebound) onCK(op *ckptOp, q, c int) {
 	}
 	// Decline if q never produced for c in this interval — c's
 	// MyProducers was stale, or q recently checkpointed and cleared
-	// its MyConsumers (§3.3.4).
-	if !qs.p.Deps().Current().MyConsumers.Test(c) {
+	// its MyConsumers (§3.3.4). An outer checkpoint takes everyone:
+	// the consumer rule only prunes a dependence-derived set.
+	if !op.outer && !qs.p.Deps().Current().MyConsumers.Test(c) {
 		reply(func() { op.onDecline() })
 		return
 	}
@@ -126,9 +187,10 @@ func (op *ckptOp) onAccept(q int) {
 	r := op.r
 	if r.ps[q].cop == op {
 		// Track the member even if the op was aborted meanwhile, so
-		// releaseAll resumes it.
+		// releaseAll resumes it. An outer op contacted everyone up
+		// front; there is nothing to expand.
 		op.members[q] = &memberState{}
-		if !op.aborted {
+		if !op.aborted && !op.outer {
 			op.expand(q)
 		}
 	}
@@ -155,9 +217,14 @@ func (op *ckptOp) maybeStart() {
 		op.releaseAll(false)
 		return
 	}
-	if op.busyHit {
+	if op.busyHit || op.crossed {
 		// Deadlock avoidance (§3.3.4): release everyone accepted so
-		// far and retry after a random delay.
+		// far and retry after a random delay. A crossed two-level
+		// attempt latches the escalation so the retry — from any
+		// initiation path — runs at the outer level.
+		if op.crossed {
+			op.r.wantOuter = true
+		}
 		op.releaseAll(true)
 		return
 	}
@@ -316,6 +383,17 @@ func (op *ckptOp) complete() {
 		rec := &r.m.St.Checkpoints[op.recIdx]
 		rec.End = r.m.Now()
 		rec.Lines = op.lines
+	}
+	if r.opts.TwoLevel {
+		// Outer-level cadence: a committed outer checkpoint resets the
+		// period and clears any latched escalation; a committed local
+		// one advances it. An aborted op never completes, so a pending
+		// escalation survives until an outer checkpoint actually lands.
+		if op.outer {
+			r.sinceOuter, r.wantOuter = 0, false
+		} else {
+			r.sinceOuter++
+		}
 	}
 }
 

@@ -23,7 +23,31 @@ type Options struct {
 	DelayedWB bool
 	// BarrierOpt enables the proactive checkpoint at barriers (§4.2.1).
 	BarrierOpt bool
+	// TwoLevel enables hierarchical two-level Rebound (the paper's own
+	// "scalable" sketch, §7): interaction-set collection is confined to
+	// the initiator's processor group; an attempt whose producers cross
+	// the group boundary is never committed — it escalates to an outer,
+	// chip-wide coordinated checkpoint, which also runs periodically so
+	// cross-group dependences are bounded in age. The committed-
+	// checkpoint invariant (no member checkpoints ahead of an
+	// un-checkpointed producer) holds at both levels, so recovery is
+	// unchanged.
+	TwoLevel bool
 }
+
+// Two-level geometry: processors are statically partitioned into
+// groups of twoLevelGroupProcs; after twoLevelOuterEvery committed
+// local checkpoints the next initiation is promoted to the outer
+// level. Machines with fewer processors than one group degenerate to
+// a single group (local attempts never cross, outer still runs on the
+// period — the two-level protocol stays exercised at small scales).
+const (
+	twoLevelGroupProcs = 8
+	twoLevelOuterEvery = 4
+)
+
+// group returns the static processor group of id.
+func (r *Rebound) group(id int) int { return id / twoLevelGroupProcs }
 
 // Rebound is the coordinated local checkpointing scheme.
 type Rebound struct {
@@ -33,6 +57,13 @@ type Rebound struct {
 	ps   []*pstate
 
 	barOp *barrierOp
+
+	// Two-level bookkeeping (Options.TwoLevel): sinceOuter counts local
+	// checkpoints committed since the last outer one; wantOuter latches
+	// an escalation (a local attempt hit a cross-group producer) until
+	// an outer checkpoint commits. Plain data — captured in snapshots.
+	sinceOuter int
+	wantOuter  bool
 
 	// closureSize scratch, pre-sized in Attach and reused across
 	// checkpoints so the twice-per-checkpoint closure computation does
@@ -47,6 +78,8 @@ func NewRebound(opts Options) *Rebound { return &Rebound{opts: opts} }
 // Name implements machine.Scheme.
 func (r *Rebound) Name() string {
 	switch {
+	case r.opts.TwoLevel:
+		return "Rebound_2L"
 	case r.opts.DelayedWB && r.opts.BarrierOpt:
 		return "Rebound_Barr"
 	case r.opts.DelayedWB:
@@ -200,8 +233,10 @@ func (r *Rebound) closureSize(initiator int, exact bool) int {
 // protocol state. Everything else (busy flags, operation pointers,
 // continuations) is structurally nil/false at a quiescent point.
 type reboundState struct {
-	rng uint64
-	ps  []reboundProcState
+	rng        uint64
+	ps         []reboundProcState
+	sinceOuter int
+	wantOuter  bool
 }
 
 type reboundProcState struct {
@@ -227,7 +262,12 @@ func (r *Rebound) SchemeQuiescent() bool {
 
 // SchemeSnapshot implements machine.SchemeSnapshotter.
 func (r *Rebound) SchemeSnapshot() any {
-	st := &reboundState{rng: r.rng.State(), ps: make([]reboundProcState, len(r.ps))}
+	st := &reboundState{
+		rng:        r.rng.State(),
+		ps:         make([]reboundProcState, len(r.ps)),
+		sinceOuter: r.sinceOuter,
+		wantOuter:  r.wantOuter,
+	}
 	for i, ps := range r.ps {
 		st.ps[i] = reboundProcState{
 			retryNotBefore: ps.retryNotBefore,
@@ -243,6 +283,8 @@ func (r *Rebound) SchemeRestore(state any) {
 	st := state.(*reboundState)
 	r.rng.Restore(st.rng)
 	r.barOp = nil
+	r.sinceOuter = st.sinceOuter
+	r.wantOuter = st.wantOuter
 	for i, ps := range r.ps {
 		ps.busy, ps.draining, ps.inBarCk = false, false, false
 		ps.cop, ps.rop = nil, nil
@@ -258,6 +300,11 @@ func (r *Rebound) SchemeRestore(state any) {
 type reboundStateImage struct {
 	RNG   uint64             `json:"rng"`
 	Procs []reboundProcImage `json:"procs"`
+	// Two-level fields are omitted when zero so the encoded bytes of
+	// every pre-existing scheme's state are unchanged (persisted
+	// snapshots stay byte-stable across this addition).
+	SinceOuter int  `json:"since_outer,omitempty"`
+	WantOuter  bool `json:"want_outer,omitempty"`
 }
 
 type reboundProcImage struct {
@@ -272,7 +319,12 @@ func (r *Rebound) EncodeSchemeState(state any) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: rebound scheme state has type %T", state)
 	}
-	im := reboundStateImage{RNG: st.rng, Procs: make([]reboundProcImage, len(st.ps))}
+	im := reboundStateImage{
+		RNG:        st.rng,
+		Procs:      make([]reboundProcImage, len(st.ps)),
+		SinceOuter: st.sinceOuter,
+		WantOuter:  st.wantOuter,
+	}
 	for i, ps := range st.ps {
 		im.Procs[i] = reboundProcImage{
 			RetryNotBefore: uint64(ps.retryNotBefore),
@@ -289,7 +341,12 @@ func (r *Rebound) DecodeSchemeState(data []byte) (any, error) {
 	if err := json.Unmarshal(data, &im); err != nil {
 		return nil, fmt.Errorf("core: rebound scheme state: %w", err)
 	}
-	st := &reboundState{rng: im.RNG, ps: make([]reboundProcState, len(im.Procs))}
+	st := &reboundState{
+		rng:        im.RNG,
+		ps:         make([]reboundProcState, len(im.Procs)),
+		sinceOuter: im.SinceOuter,
+		wantOuter:  im.WantOuter,
+	}
 	for i, ps := range im.Procs {
 		st.ps[i] = reboundProcState{
 			retryNotBefore: sim.Cycle(ps.RetryNotBefore),

@@ -322,12 +322,60 @@ func TestSchemeNames(t *testing.T) {
 		"Rebound_NoDWB":      NewRebound(Options{}),
 		"Rebound_Barr":       NewRebound(Options{DelayedWB: true, BarrierOpt: true}),
 		"Rebound_NoDWB_Barr": NewRebound(Options{BarrierOpt: true}),
+		"Rebound_2L":         NewRebound(Options{DelayedWB: true, TwoLevel: true}),
 	}
 	for want, s := range names {
 		if got := s.Name(); got != want {
 			t.Fatalf("Name() = %q, want %q", got, want)
 		}
 	}
+}
+
+// TestTwoLevelCheckpointSizes: under Rebound_2L on a 16-processor
+// machine (two groups of twoLevelGroupProcs), every committed
+// checkpoint is either group-local (at most one group's worth of
+// members) or a chip-wide outer checkpoint (all processors) — nothing
+// in between, because a collection that crosses the group boundary is
+// escalated, never committed. Both levels must actually occur, and the
+// outer cadence must bound how many local checkpoints run between
+// consecutive outer ones.
+func TestTwoLevelCheckpointSizes(t *testing.T) {
+	// Blackscholes shares only within clusters of 4, which nest inside
+	// the protocol's groups of 8 — so local attempts commit; the outer
+	// level still runs on its period. (All-to-all workloads like
+	// Uniform escalate every attempt and degenerate to outer-only,
+	// which is correct but exercises one level.)
+	n := 2 * twoLevelGroupProcs
+	m := run(t, n, workload.ByName("Blackscholes"), NewRebound(Options{DelayedWB: true, TwoLevel: true}), 1_600_000)
+	if len(m.St.Checkpoints) < 3 {
+		t.Fatalf("only %d checkpoints", len(m.St.Checkpoints))
+	}
+	var local, outer, sinceOuter int
+	for _, c := range m.St.Checkpoints {
+		switch {
+		case c.Size == n:
+			outer++
+			sinceOuter = 0
+		case c.Size <= twoLevelGroupProcs:
+			local++
+			sinceOuter++
+			// Records are appended in start order: once the outer period
+			// elapses every new initiation is promoted, so the locals
+			// recorded between two outers are bounded by the period plus
+			// at most one in-flight local per processor group.
+			if sinceOuter > twoLevelOuterEvery+n/twoLevelGroupProcs {
+				t.Fatalf("%d local checkpoints since the last outer one (period %d)",
+					sinceOuter, twoLevelOuterEvery)
+			}
+		default:
+			t.Fatalf("checkpoint size %d is neither group-local (<=%d) nor chip-wide (%d)",
+				c.Size, twoLevelGroupProcs, n)
+		}
+	}
+	if local == 0 || outer == 0 {
+		t.Fatalf("two-level run took %d local and %d outer checkpoints; want both levels", local, outer)
+	}
+	m.CheckCoherence()
 }
 
 func TestReboundDeterministic(t *testing.T) {

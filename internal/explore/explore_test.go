@@ -1,0 +1,329 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/store"
+)
+
+// testScale keeps cell evaluations cheap (mirrors the campaign test
+// scale): small budget, short intervals, short detection latency.
+var testScale = harness.Scale{Name: "exp-test", ProcsLarge: 8, ProcsSmall: 4,
+	InstrPerProc: 30_000, Interval: 8_000, DetectLatency: 2_000, Seed: 1}
+
+// testSpec is the canonical small exploration: two schemes crossed
+// with two intervals on a 4-proc FFT, 8 trials per cell.
+func testSpec(strategy string) Spec {
+	return Spec{
+		App: "FFT", Procs: 4, Scale: testScale,
+		Schemes:   []string{"Rebound", "Global_DWB"},
+		Intervals: []uint64{8_000, 16_000},
+		Trials:    8, Faults: 2, Window: 60_000, Seed: 7,
+		Strategy: strategy,
+	}
+}
+
+func TestNormalizeAndKey(t *testing.T) {
+	a := testSpec(StrategyHalving)
+	// Same space, different axis order, defaulted fields spelled out.
+	b := a
+	b.Schemes = []string{"Global_DWB", "Rebound", "Rebound"}
+	b.Intervals = []uint64{16_000, 8_000}
+	b.Strategy = ""
+	b.Faults = 0
+	b.Faults = 2
+	if a.Key() != b.Key() {
+		t.Fatalf("axis order changed the key:\n%s\n%s", a.Key(), b.Key())
+	}
+	n := a.Normalize()
+	if n.Schemes[0] != "Global_DWB" || n.Schemes[1] != "Rebound" {
+		t.Fatalf("schemes not in SchemeNames order: %v", n.Schemes)
+	}
+	if len(n.WSIGBits) != 1 || len(n.DepSets) != 1 || len(n.Shards) != 1 {
+		t.Fatalf("knob axes not defaulted: %+v", n)
+	}
+	// Shards 0 and 1 are one layout, hence one point.
+	c := a
+	c.Shards = []int{0, 1}
+	if len(c.Normalize().Shards) != 1 {
+		t.Fatalf("shards 0 and 1 did not collapse: %v", c.Normalize().Shards)
+	}
+	if got := len(a.Cells()); got != 4 {
+		t.Fatalf("cells = %d, want 4", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := a
+	bad.Schemes = []string{"NoSuchScheme"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown scheme validated")
+	}
+	bad = a
+	bad.Strategy = "random"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown strategy validated")
+	}
+}
+
+func TestFrontierDominance(t *testing.T) {
+	rs := []CellResult{
+		{Availability: 0.99, Overhead: 0.10}, // dominated by 2
+		{Availability: 0.95, Overhead: 0.02}, // frontier (cheapest)
+		{Availability: 0.99, Overhead: 0.05}, // frontier (best avail)
+		{Availability: 0.90, Overhead: 0.08}, // dominated by 1 and 2
+		{Availability: 0.99, Overhead: 0.05}, // tie with 2: both survive
+	}
+	got := frontier(rs)
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunDeterminismAndResume: the same Spec explored by a fresh
+// explorer, re-explored by the same explorer (report served), and
+// explored by a new explorer over the same store (resume path) yields
+// byte-identical FrontierReport JSON — and the resumed run simulates
+// zero cells.
+func TestRunDeterminismAndResume(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(StrategyHalving)
+
+	e1 := NewLocalExplorer(harness.NewRunner(2), st)
+	rep1, err := e1.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev, _, _ := e1.Counters(); ev == 0 {
+		t.Fatal("fresh exploration evaluated nothing")
+	}
+	b1, _ := json.Marshal(rep1)
+
+	// Same explorer again: whole report served from the store.
+	rep2, err := e1.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, served := e1.Counters(); served != 1 {
+		t.Fatalf("report not served from store (served=%d)", served)
+	}
+	b2, _ := json.Marshal(rep2)
+	if string(b1) != string(b2) {
+		t.Fatal("served report differs from computed report")
+	}
+
+	// New process simulation: fresh store handle, fresh explorer, but
+	// the reports namespace wiped so the cells must carry the resume.
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wipeReports(t, st2)
+	e2 := NewLocalExplorer(harness.NewRunner(1), st2)
+	rep3, err := e2.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, hits, _ := e2.Counters()
+	if ev != 0 {
+		t.Fatalf("resumed exploration re-evaluated %d cells, want 0", ev)
+	}
+	if hits == 0 {
+		t.Fatal("resumed exploration hit no stored cells")
+	}
+	b3, _ := json.Marshal(rep3)
+	if string(b1) != string(b3) {
+		t.Fatalf("resumed report differs:\n%s\n%s", b1, b3)
+	}
+
+	// Memory-only explorer, serial runner: byte-identical too (the
+	// report is a pure function of the spec, not of persistence).
+	e3 := NewLocalExplorer(harness.NewRunner(1), nil)
+	rep4, err := e3.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, _ := json.Marshal(rep4)
+	if string(b1) != string(b4) {
+		t.Fatalf("memory-only report differs:\n%s\n%s", b1, b4)
+	}
+}
+
+// wipeReports deletes the stored frontier reports, leaving cells.
+func wipeReports(t *testing.T, st *store.Store) {
+	t.Helper()
+	ns, err := st.Namespace("explore", "reports")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := ns.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if err := os.Remove(filepath.Join(ns.Dir(), n+".json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// halvingSpec is a 16-cell space (2 schemes x 2 intervals x 2 WSIG
+// widths x 2 dependence-set counts) wide enough that the seeding
+// rung's prune has real work: most of the space sits at clearly
+// higher overhead than its interval's cheapest cell, so halving can
+// rule it out on two trials and spend the full budget only on the
+// handful of contenders.
+func halvingSpec(strategy string) Spec {
+	s := testSpec(strategy)
+	s.Intervals = []uint64{2_000, 4_000}
+	s.WSIGBits = []int{0, 64}
+	s.DepSets = []int{0, 2}
+	return s
+}
+
+// TestHalvingMatchesGridCheaper: successive halving reaches the same
+// Pareto frontier as the exhaustive grid while spending at most half
+// of the grid's trial budget — the economics the report's ledger
+// exposes.
+func TestHalvingMatchesGridCheaper(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewLocalExplorer(harness.NewRunner(0), st)
+
+	grid := halvingSpec(StrategyGrid)
+	halv := halvingSpec(StrategyHalving)
+	grep, err := e.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrep, err := e.Run(context.Background(), halv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if grep.TrialsSpent != grep.GridTrials {
+		t.Fatalf("grid ledger: spent %d, grid %d", grep.TrialsSpent, grep.GridTrials)
+	}
+	if hrep.GridTrials != grep.GridTrials {
+		t.Fatalf("grid budgets disagree: %d vs %d", hrep.GridTrials, grep.GridTrials)
+	}
+	if hrep.TrialsSpent*2 > hrep.GridTrials {
+		t.Fatalf("halving spent %d of %d grid trials (> 50%%)", hrep.TrialsSpent, hrep.GridTrials)
+	}
+	if len(hrep.Rungs) != 2 || hrep.Rungs[0].Trials != 2 || hrep.Rungs[1].Trials != 8 {
+		t.Fatalf("halving rung schedule = %+v", hrep.Rungs)
+	}
+
+	gf, _ := json.Marshal(grep.FrontierCells())
+	hf, _ := json.Marshal(hrep.FrontierCells())
+	if string(gf) != string(hf) {
+		t.Fatalf("frontiers differ:\ngrid:    %s\nhalving: %s", gf, hf)
+	}
+	if grep.Dominated != len(grid.Cells())-len(grep.Frontier) {
+		t.Fatalf("grid dominated = %d", grep.Dominated)
+	}
+	if hrep.Dominated != len(halv.Cells())-len(hrep.Frontier) {
+		t.Fatalf("halving dominated = %d", hrep.Dominated)
+	}
+}
+
+// TestSharedCellsAcrossSpecs: two different explorations whose spaces
+// intersect share the intersection's evaluations through the flat
+// cells namespace.
+func TestSharedCellsAcrossSpecs(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewLocalExplorer(harness.NewRunner(0), st)
+
+	a := testSpec(StrategyGrid)
+	a.Schemes = []string{"Rebound"}
+	a.Intervals = []uint64{8_000}
+	if _, err := e.Run(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	ev1, _, _ := e.Counters()
+
+	b := testSpec(StrategyGrid)
+	b.Schemes = []string{"Rebound", "Global_DWB"}
+	b.Intervals = []uint64{8_000}
+	if _, err := e.Run(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	ev2, hits, _ := e.Counters()
+	if hits == 0 {
+		t.Fatal("intersecting exploration reused nothing")
+	}
+	// b has two cells; the Rebound one came from a's run.
+	if ev2-ev1 != 1 {
+		t.Fatalf("second exploration evaluated %d cells, want 1", ev2-ev1)
+	}
+}
+
+// TestCorruptCellRecordIsReEvaluated: a torn or foreign record in the
+// shared cells namespace costs its own re-computation, never a wrong
+// report.
+func TestCorruptCellRecordIsReEvaluated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(StrategyGrid)
+	spec.Schemes = []string{"Rebound"}
+	spec.Intervals = []uint64{8_000}
+
+	e1 := NewLocalExplorer(harness.NewRunner(0), st)
+	rep1, err := e1.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(rep1)
+
+	// Corrupt the one cell record in place (valid JSON, wrong
+	// identity) and drop the report.
+	ns, err := st.Namespace("explore", "cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := ns.Names()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("cells = %v (%v)", names, err)
+	}
+	if err := ns.PutJSON(names[0], map[string]string{"campaign_key": "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	wipeReports(t, st)
+
+	e2 := NewLocalExplorer(harness.NewRunner(0), st)
+	rep2, err := e2.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _, _ := e2.Counters()
+	if ev != 1 {
+		t.Fatalf("corrupt cell re-evaluated %d times, want 1", ev)
+	}
+	b2, _ := json.Marshal(rep2)
+	if string(b1) != string(b2) {
+		t.Fatal("re-evaluated report differs from the original")
+	}
+}

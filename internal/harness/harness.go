@@ -100,10 +100,14 @@ type Result struct {
 }
 
 // schemeNames lists every scheme SchemeFor accepts, in the order the
-// evaluation introduces them.
+// evaluation introduces them: paper schemes first (Fig 4.3a's
+// configuration list), post-paper extensions appended at the end — the
+// order is stable API (figure tables and sweep layouts index into it),
+// so new schemes are only ever appended, never inserted.
 var schemeNames = []string{
 	"none", "Global", "Global_DWB",
 	"Rebound", "Rebound_NoDWB", "Rebound_Barr", "Rebound_NoDWB_Barr",
+	"Rebound_2L",
 }
 
 // SchemeNames returns the valid -scheme / API scheme identifiers.
@@ -210,6 +214,11 @@ func SchemeFor(name string) (machine.Scheme, error) {
 		return core.NewRebound(core.Options{DelayedWB: true, BarrierOpt: true}), nil
 	case "Rebound_NoDWB_Barr":
 		return core.NewRebound(core.Options{BarrierOpt: true}), nil
+	case "Rebound_2L":
+		// Two-level hierarchical Rebound (the paper's scalability
+		// sketch): group-local coordinated checkpoints with delayed
+		// writebacks, escalating to a periodic chip-wide outer level.
+		return core.NewRebound(core.Options{DelayedWB: true, TwoLevel: true}), nil
 	}
 	return nil, fmt.Errorf("harness: unknown scheme %q", name)
 }

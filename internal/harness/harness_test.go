@@ -8,7 +8,7 @@ import (
 
 func TestSchemeForAndScaleByName(t *testing.T) {
 	for _, name := range []string{"none", "Global", "Global_DWB", "Rebound",
-		"Rebound_NoDWB", "Rebound_Barr", "Rebound_NoDWB_Barr"} {
+		"Rebound_NoDWB", "Rebound_Barr", "Rebound_NoDWB_Barr", "Rebound_2L"} {
 		if _, err := SchemeFor(name); err != nil {
 			t.Fatalf("SchemeFor(%q): %v", name, err)
 		}

@@ -160,15 +160,10 @@ func (s *Server) handleCampaignPost(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, job.response(key))
 		return
 	}
-	// Admission counts running campaigns only; failed tombstones stay
-	// visible to GET but must not eat queue slots forever.
-	running := 0
-	for _, j := range s.campaigns {
-		if j.running() {
-			running++
-		}
-	}
-	if running >= s.cfg.QueueDepth {
+	// Admission is multi-tenant: running campaigns and explorations
+	// share the one QueueDepth; failed tombstones stay visible to GET
+	// but must not eat queue slots forever.
+	if s.backgroundJobsLocked() >= s.cfg.QueueDepth {
 		s.campMu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, errQueueFull)
 		return

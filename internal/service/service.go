@@ -14,6 +14,8 @@
 //	POST /v1/sweeps           a named figure (e.g. "fig6.2") or Spec list
 //	POST /v1/campaigns        start/resume a fault campaign (async)
 //	GET  /v1/campaigns/{key}  campaign progress, or the finished Report
+//	POST /v1/explore          start/resume a scheme-space exploration (async)
+//	GET  /v1/explore/{key}    exploration progress, or the FrontierReport
 //	GET  /healthz             liveness
 //	GET  /metrics             expvar counters (cache, queue, in-flight,
 //	                          campaign progress)
@@ -40,6 +42,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/cluster"
+	"repro/internal/explore"
 	"repro/internal/harness"
 	"repro/internal/store"
 )
@@ -84,10 +87,18 @@ type Server struct {
 	flight map[string]*call
 
 	// Campaign state (campaign.go): running/failed background jobs by
-	// campaign key, and the engine used to load stored reports.
+	// campaign key, and the engine used to load stored reports. campMu
+	// also guards the exploration job map (explore.go) so admission can
+	// count every background job under one lock.
 	campMu    sync.Mutex
 	campaigns map[string]*campaignJob
 	loader    *campaign.Engine
+
+	// Exploration state (explore.go): running/failed background
+	// explorations by exploration key, and the loader for stored
+	// frontier reports.
+	explores  map[string]*exploreJob
+	expLoader *explore.Explorer
 
 	// Cluster state (cluster.go), nil/zero for RoleSingle: the
 	// coordinator, the in-process worker and its lifecycle plumbing.
@@ -114,6 +125,12 @@ type Server struct {
 	campaignsTotal     expvar.Int // background campaigns started
 	campaignsRunning   expvar.Int // background campaigns in flight
 	campaignTrialsDone expvar.Int // trials completed (or restored) across campaigns
+
+	exploresTotal         expvar.Int // background explorations started
+	exploresRunning       expvar.Int // background explorations in flight
+	exploreCellsDone      expvar.Int // cell evaluations completed across explorations
+	exploreCellsEvaluated expvar.Int // cells actually simulated (not cached)
+	exploreCellsFromStore expvar.Int // cells served from the shared cells namespace
 }
 
 // call is one in-flight simulation; requests for the same Spec share it.
@@ -149,12 +166,16 @@ func New(cfg Config) (*Server, error) {
 		flight:    make(map[string]*call),
 		campaigns: make(map[string]*campaignJob),
 		loader:    campaign.New(cfg.Runner, cfg.Store),
+		explores:  make(map[string]*exploreJob),
+		expLoader: explore.New(nil, cfg.Store),
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleGetRun)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignPost)
 	s.mux.HandleFunc("GET /v1/campaigns/{key}", s.handleCampaignGet)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplorePost)
+	s.mux.HandleFunc("GET /v1/explore/{key}", s.handleExploreGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.jobKick = make(chan struct{}, 1)
@@ -667,6 +688,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		`"in_flight": %s, "queue_waiting": %s, "queue_capacity": %d, `+
 		`"max_concurrent": %d, "runs_total": %s, "sweeps_total": %s, `+
 		`"campaigns_total": %s, "campaigns_running": %s, "campaign_trials_done": %s, `+
+		`"explores_total": %s, "explores_running": %s, "explore_cells_done": %s, `+
+		`"explore_cells_evaluated": %s, "explore_cells_from_store": %s, `+
 		`"store_errors": %s, "store_records": %d, "runner_cached_cells": %d, `+
 		`"role": %q, "workers_joined": %d, "live_workers": %d, "leases_active": %d, `+
 		`"leases_expired": %d, "trials_remote_total": %d, "cells_remote_total": %d}`+"\n",
@@ -674,6 +697,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		s.inFlight.String(), s.queued.String(), s.cfg.QueueDepth,
 		s.cfg.MaxConcurrent, s.runsTotal.String(), s.sweepsTotal.String(),
 		s.campaignsTotal.String(), s.campaignsRunning.String(), s.campaignTrialsDone.String(),
+		s.exploresTotal.String(), s.exploresRunning.String(), s.exploreCellsDone.String(),
+		s.exploreCellsEvaluated.String(), s.exploreCellsFromStore.String(),
 		s.storeErrors.String(), s.cfg.Store.Len(), s.cfg.Runner.CachedRuns(),
 		info.role, info.metrics.WorkersJoined, info.metrics.LiveWorkers,
 		info.metrics.LeasesActive, info.metrics.LeasesExpired,

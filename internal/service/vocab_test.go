@@ -1,0 +1,44 @@
+package service
+
+// The API's vocabulary contract: every /v1 endpoint that rejects an
+// unknown scheme must advertise the full scheme list in its error —
+// including schemes appended after the paper set (Rebound_2L). A
+// scheme that works but is not discoverable from the errors is a
+// hidden feature.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestSchemeVocabularyInErrors(t *testing.T) {
+	ts := newCampaignTestServer(t)
+	cases := []struct {
+		name, path, body string
+	}{
+		{"run", "/v1/runs", `{"app":"FFT","procs":4,"scheme":"NoSuchScheme"}`},
+		{"sweep", "/v1/sweeps", `{"specs":[{"app":"FFT","procs":4,"scheme":"NoSuchScheme"}]}`},
+		{"campaign", "/v1/campaigns", `{"app":"FFT","procs":4,"scheme":"NoSuchScheme","trials":2}`},
+		{"explore", "/v1/explore", `{"app":"FFT","procs":4,"schemes":["NoSuchScheme"],"trials":2}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+			}
+			for _, scheme := range []string{"Rebound", "Rebound_2L", "Global_DWB"} {
+				if !strings.Contains(string(data), scheme) {
+					t.Errorf("error does not advertise scheme %q: %s", scheme, data)
+				}
+			}
+		})
+	}
+}

@@ -21,6 +21,11 @@ type Summary struct {
 	Max float64 `json:"max"`
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
+	// P99 is the 99th-percentile tail (linear interpolation, like P50/
+	// P95): frontier points report median AND tail behaviour, and for
+	// availability-style metrics the p99 tail is the figure service
+	// operators actually bound.
+	P99 float64 `json:"p99"`
 	// CI95 is the half-width of the 95% confidence interval of the
 	// mean under the normal approximation: 1.96·Std/√N.
 	CI95 float64 `json:"ci95"`
@@ -61,6 +66,7 @@ func Summarize(xs []float64) Summary {
 		Max:  sorted[n-1],
 		P50:  quantile(sorted, 0.50),
 		P95:  quantile(sorted, 0.95),
+		P99:  quantile(sorted, 0.99),
 		CI95: 1.96 * std / math.Sqrt(float64(n)),
 	}
 }

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// TestSummarizePinned pins Summarize's values on known inputs: the
+// quantile rule is linear interpolation between closest ranks, and the
+// Summary is a stable wire format (frontier reports embed it), so these
+// numbers must never drift.
+func TestSummarizePinned(t *testing.T) {
+	seq := make([]float64, 100) // 1..100
+	for i := range seq {
+		seq[i] = float64(i + 1)
+	}
+	cases := []struct {
+		name                     string
+		xs                       []float64
+		mean, p50, p95, p99, max float64
+	}{
+		{"1..100", seq, 50.5, 50.5, 95.05, 99.01, 100},
+		{"two-point", []float64{0, 100}, 50, 50, 95, 99, 100},
+		{"constant", []float64{7, 7, 7, 7}, 7, 7, 7, 7, 7},
+		{"single", []float64{3.25}, 3.25, 3.25, 3.25, 3.25, 3.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Summarize(tc.xs)
+			if s.N != len(tc.xs) {
+				t.Fatalf("N = %d, want %d", s.N, len(tc.xs))
+			}
+			for _, chk := range []struct {
+				label     string
+				got, want float64
+			}{
+				{"Mean", s.Mean, tc.mean},
+				{"P50", s.P50, tc.p50},
+				{"P95", s.P95, tc.p95},
+				{"P99", s.P99, tc.p99},
+				{"Max", s.Max, tc.max},
+			} {
+				if !near(chk.got, chk.want) {
+					t.Errorf("%s = %v, want %v", chk.label, chk.got, chk.want)
+				}
+			}
+			if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+				t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v max=%v",
+					s.P50, s.P95, s.P99, s.Max)
+			}
+		})
+	}
+}
+
+// TestSummarizeOrderIndependent: the summary of a permuted sample slice
+// is bit-identical (Summarize sorts a copy; the FP operation order is
+// fixed) — the determinism contract aggregation rides on.
+func TestSummarizeOrderIndependent(t *testing.T) {
+	fwd := []float64{5, 1, 4.5, 2, 9, 9, 0.25, 3}
+	rev := make([]float64, len(fwd))
+	for i, v := range fwd {
+		rev[len(fwd)-1-i] = v
+	}
+	if a, b := Summarize(fwd), Summarize(rev); a != b {
+		t.Fatalf("permutation changed the summary:\n %+v\n %+v", a, b)
+	}
+}
+
+func TestSummarizeEmptyAndSpread(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty input yielded %+v", s)
+	}
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("mean/min/max = %v/%v/%v", s.Mean, s.Min, s.Max)
+	}
+	if want := math.Sqrt(32.0 / 7.0); !near(s.Std, want) {
+		t.Fatalf("Std = %v, want %v", s.Std, want)
+	}
+	if want := 1.96 * s.Std / math.Sqrt(8); !near(s.CI95, want) {
+		t.Fatalf("CI95 = %v, want %v", s.CI95, want)
+	}
+}

@@ -7,7 +7,13 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
+
+// tempSweepAge is how old an atomic-write temp file must be before
+// Names treats it as the orphan of a killed process and removes it;
+// younger ones are live writes in another goroutine.
+const tempSweepAge = time.Minute
 
 // Namespace is a directory of atomically-written JSON records under a
 // Store, for subsystems whose records are not harness Results — the
@@ -156,7 +162,12 @@ func (n *Namespace) Names() ([]string, error) {
 			continue
 		}
 		if strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp") {
-			os.Remove(filepath.Join(n.dir, name))
+			// Sweep only temp files old enough to be orphans of a killed
+			// process: a fresh one belongs to an in-flight Put on another
+			// goroutine, and removing it would break that Put's rename.
+			if info, err := e.Info(); err == nil && time.Since(info.ModTime()) > tempSweepAge {
+				os.Remove(filepath.Join(n.dir, name))
+			}
 			continue
 		}
 		if strings.HasSuffix(name, ".json") {
@@ -165,4 +176,34 @@ func (n *Namespace) Names() ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// Each decodes every record in the namespace into a fresh value from
+// newV and hands (name, value) to fn, in ascending name order — the
+// deterministic enumeration explore resume is built on (a restarted
+// exploration lists its evaluated cells in one directory read instead
+// of probing candidate keys one by one). Records that fail to decode
+// are skipped, not fatal: a namespace shared with older or newer
+// writers may hold records of another shape, and a corrupt entry
+// should cost its own re-computation, never the whole enumeration.
+// skipped reports how many were passed over. Records put concurrently
+// with an Each may or may not be visited (the name list is read once,
+// and each record is read atomically thanks to the rename discipline);
+// fn must not write to the namespace.
+func (n *Namespace) Each(newV func() any, fn func(name string, v any)) (skipped int, err error) {
+	names, err := n.Names()
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		v := newV()
+		ok, err := n.GetJSON(name, v)
+		if !ok || err != nil {
+			// Vanished since the listing (!ok) or undecodable: skip.
+			skipped++
+			continue
+		}
+		fn(name, v)
+	}
+	return skipped, nil
 }

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestNamespaceRoundTrip(t *testing.T) {
@@ -96,6 +97,16 @@ func TestNamespaceSweepsStaleTempFiles(t *testing.T) {
 	if err := os.WriteFile(stale, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Only OLD temp files are orphans; a fresh one could be an in-flight
+	// Put on another goroutine. Age the file past the sweep threshold.
+	old := time.Now().Add(-2 * tempSweepAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(ns.Dir(), ".report.tmp99999")
+	if err := os.WriteFile(fresh, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	names, err := ns.Names()
 	if err != nil {
 		t.Fatal(err)
@@ -105,5 +116,8 @@ func TestNamespaceSweepsStaleTempFiles(t *testing.T) {
 	}
 	if _, err := os.Stat(stale); !os.IsNotExist(err) {
 		t.Fatal("stale temp file survived the sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp file (a possible in-flight write) was swept")
 	}
 }

@@ -1,6 +1,10 @@
 package workload
 
-import "repro/internal/sim"
+import (
+	"math"
+
+	"repro/internal/sim"
+)
 
 // Profile parameterises one application's behaviour.
 type Profile struct {
@@ -36,6 +40,13 @@ type Profile struct {
 	// into clusters of this many; cluster-shared accesses stay inside.
 	// 0 means "all cores form one cluster".
 	ClusterSize int
+	// ZipfSkew skews shared-region line popularity Zipf-style (server
+	// key-value workloads: a few hot keys take most accesses). 0 means
+	// uniform — the historical behaviour of every paper profile; valid
+	// skews are [0, 1). A flat scalar, like every Profile knob: streams
+	// derive the skewed index per op from their RNG, so no dynamic
+	// state is added and the persisted stream codec is untouched.
+	ZipfSkew float64
 
 	// BarrierPeriod is the number of instructions between global
 	// barriers (0 = no barriers). The paper notes Ocean barriers every
@@ -210,6 +221,32 @@ func StateFromImage(p *Profile, core, nprocs int, im StateImage) State {
 // Instructions returns the instructions emitted so far.
 func (s *Stream) Instructions() uint64 { return s.instrs }
 
+// maxZipfSkew caps Profile.ZipfSkew below 1: the inverse-CDF exponent
+// 1/(1-s) diverges at 1, and real measured key-popularity skews sit
+// well under it (memcached traces cluster around 0.9).
+const maxZipfSkew = 0.99
+
+// skewIndex samples a line index in [0, n) under the profile's
+// popularity skew: inverse-CDF sampling of the bounded power law,
+// index = ⌊n·u^(1/(1-s))⌋ — a closed form needing no per-n tables and
+// no stream state beyond the RNG draw. Skew 0 degrades to exactly the
+// historical uniform draw (same RNG consumption), so profiles without
+// the knob replay bit-identically.
+func (s *Stream) skewIndex(n int) int {
+	sk := s.prof.ZipfSkew
+	if sk <= 0 {
+		return s.rng.Intn(n)
+	}
+	if sk > maxZipfSkew {
+		sk = maxZipfSkew
+	}
+	i := int(math.Pow(s.rng.Float64(), 1/(1-sk)) * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
 // pickAddr chooses a target line for a memory op and reports whether it
 // falls in the chip-global region.
 func (s *Stream) pickAddr() (addr uint64, global bool) {
@@ -226,7 +263,7 @@ func (s *Stream) pickAddr() (addr uint64, global bool) {
 		if n < 1 {
 			n = 1
 		}
-		return ClusterLine(p.clusterOf(s.core, s.nprocs), s.rng.Intn(n)), false
+		return ClusterLine(p.clusterOf(s.core, s.nprocs), s.skewIndex(n)), false
 	}
 	n := p.PrivateLines
 	if n < 1 {
@@ -253,12 +290,14 @@ func (s *Stream) Next() Op {
 		if s.csRemaining == 0 {
 			return s.account(Op{Kind: Unlock, Arg: s.csLock})
 		}
-		// Critical sections touch shared data (that is their point).
+		// Critical sections touch shared data (that is their point) —
+		// under a popularity skew the hot keys are exactly what the
+		// bucket locks protect.
 		n := p.SharedLines
 		if n < 1 {
 			n = 1
 		}
-		addr := ClusterLine(p.clusterOf(s.core, s.nprocs), s.rng.Intn(n))
+		addr := ClusterLine(p.clusterOf(s.core, s.nprocs), s.skewIndex(n))
 		k := Load
 		if s.rng.Float64() < 0.6 {
 			k = Store

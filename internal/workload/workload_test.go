@@ -7,8 +7,8 @@ import (
 
 func TestAllProfilesWellFormed(t *testing.T) {
 	apps := All()
-	if len(apps) != 19 {
-		t.Fatalf("got %d profiles, want 19 (12 SPLASH-2 + Raytrace + 4 PARSEC + Apache + Uniform)", len(apps))
+	if len(apps) != 20 {
+		t.Fatalf("got %d profiles, want 20 (12 SPLASH-2 + Raytrace + 4 PARSEC + Apache + ZipfKV + Uniform)", len(apps))
 	}
 	seen := map[string]bool{}
 	for _, p := range apps {

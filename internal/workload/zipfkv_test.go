@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// opStreamDigest hashes the first n ops of a stream (kind and argument
+// of every op) into a stable hex digest.
+func opStreamDigest(s *Stream, n int) string {
+	h := fnv.New64a()
+	for i := 0; i < n; i++ {
+		op := s.Next()
+		fmt.Fprintf(h, "%d:%d|", op.Kind, op.Arg)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestZipfKVGoldenDeterminism pins the exact op sequence ZipfKV
+// generates: the skewIndex sampling path (math.Pow over the stream
+// RNG) is part of the workload's deterministic identity, and any
+// drift in it silently changes every stored result for the profile.
+// The digests were recorded from the first implementation; a failure
+// here means the workload's behaviour changed and every ZipfKV cell
+// in every store is stale.
+func TestZipfKVGoldenDeterminism(t *testing.T) {
+	golden := map[int]string{ // core -> digest of the first 20k ops
+		0: "a1d78f29562d92f9",
+		3: "74186f0fd4758eb2",
+		7: "426bdbe2eeae8c43",
+	}
+	for core, want := range golden {
+		s := NewStream(ZipfKV(), core, 8, 42)
+		if got := opStreamDigest(s, 20_000); got != want {
+			t.Errorf("core %d digest = %s, want %s", core, got, want)
+		}
+	}
+	// And the registry serves the same profile the constructor builds.
+	a := opStreamDigest(NewStream(ZipfKV(), 1, 8, 7), 5_000)
+	b := opStreamDigest(NewStream(ByName("ZipfKV"), 1, 8, 7), 5_000)
+	if a != b {
+		t.Fatalf("ByName(ZipfKV) stream differs from ZipfKV(): %s vs %s", a, b)
+	}
+}
+
+// TestZipfKVHotKeys: the skew must actually concentrate traffic — the
+// hottest cluster-shared line takes far more than the uniform share of
+// shared accesses, and snapshot/restore replays the skewed sequence
+// exactly (the closed-form sampler keeps all state in the RNG).
+func TestZipfKVHotKeys(t *testing.T) {
+	p := ZipfKV()
+	s := NewStream(p, 0, 8, 11)
+	counts := map[uint64]int{}
+	total := 0
+	for i := 0; i < 300_000; i++ {
+		op := s.Next()
+		if op.Kind != Load && op.Kind != Store {
+			continue
+		}
+		if op.Arg >= clusterBase && op.Arg < globalBase {
+			counts[op.Arg]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no cluster-shared accesses observed")
+	}
+	hottest := 0
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	uniformShare := float64(total) / float64(p.SharedLines)
+	if ratio := float64(hottest) / uniformShare; ratio < 3 {
+		t.Fatalf("hottest key only %.1fx the uniform share; skew %.2f should concentrate traffic",
+			ratio, p.ZipfSkew)
+	}
+
+	// Snapshot/restore replay through the skewed path.
+	snap := s.Snapshot()
+	want := make([]Op, 500)
+	for i := range want {
+		want[i] = s.Next()
+	}
+	s.Restore(snap)
+	for i := range want {
+		if got := s.Next(); got != want[i] {
+			t.Fatalf("replay diverges at op %d: %v vs %v", i, got, want[i])
+		}
+	}
+}
