@@ -53,6 +53,7 @@ import (
 	"hash/fnv"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -77,8 +78,11 @@ func main() {
 		join       = flag.String("join", "", "coordinator URL to join (role worker)")
 		name       = flag.String("name", "", "worker label (role worker; default hostname)")
 		leaseTTL   = flag.Duration("lease-ttl", 0, "cluster lease TTL (role coordinator; 0 = 15s)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. 127.0.0.1:6060 (empty = off)")
 	)
 	flag.Parse()
+
+	startPprof(*pprofAddr)
 
 	switch *role {
 	case "worker":
@@ -146,6 +150,30 @@ func main() {
 		log.Printf("reboundd: %v", err)
 	}
 	fmt.Println("reboundd: bye")
+}
+
+// startPprof serves the net/http/pprof handlers on their own mux at
+// addr (any role; no-op when addr is empty, the default). The explicit
+// mux keeps the profiling endpoints off the public API listener — bind
+// a loopback address unless the network is trusted — and avoids the
+// DefaultServeMux side-effect registration of a blank import.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		log.Printf("reboundd: pprof on http://%s/debug/pprof/", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("reboundd: pprof server: %v", err)
+		}
+	}()
 }
 
 // runWorker runs the worker role: join the coordinator, pull leases

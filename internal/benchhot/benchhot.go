@@ -49,6 +49,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/workload"
 )
 
 // SingleCellSpec is the cell SingleCell measures: a Figure 6.2 cell
@@ -280,6 +281,66 @@ func ShardedSingleCellParallel(b *testing.B) {
 	prev := runtime.GOMAXPROCS(runtime.NumCPU())
 	defer runtime.GOMAXPROCS(prev)
 	shardedCellBody(b)
+}
+
+// EventPlaneCellConfig is the machine the event-plane benchmarks run: a
+// 256-processor cell under the null scheme with its state in 8
+// partitions, executing on sim.ShardedEngine (Config.EventPlane) — the
+// coherence protocol as latency-bounded message legs between per-shard
+// event heaps instead of synchronous directory walks.
+func EventPlaneCellConfig() machine.Config {
+	cfg := machine.DefaultConfig(256)
+	cfg.Shards = 8
+	cfg.EventPlane = true
+	return cfg
+}
+
+// epCell holds the warmed event-plane machine shared by ShardedRun and
+// ShardedRunParallel. Sharing is safe for the same reason as
+// shardedCell: the machine's trajectory is deterministic and the two
+// benchmarks differ only in executor parallelism, which is
+// byte-identical by construction (machine/eventplane.go), so both
+// variants measure the same per-instruction work.
+var epCell struct {
+	once sync.Once
+	m    *machine.Machine
+}
+
+func epCellInit() {
+	m := machine.New(EventPlaneCellConfig(), workload.ByName("FFT"), machine.NullScheme{})
+	m.Run(256 * 2_000) // warm caches, directory and DRAM state
+	epCell.m = m
+}
+
+// shardedRunBody is the shared measured region: each op is one
+// committed instruction of the event-plane machine, so ns/op is the
+// per-instruction cost of epoch-parallel execution (compare SingleCell
+// for the sequential pipeline).
+func shardedRunBody(b *testing.B, parallel bool) {
+	epCell.once.Do(epCellInit)
+	m := epCell.m
+	m.SetEventPlaneParallel(parallel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(uint64(b.N))
+	b.StopTimer()
+}
+
+// ShardedRun measures event-plane execution with epochs run
+// sequentially, shard by shard (the serial reference row; CI records it
+// at GOMAXPROCS=1).
+func ShardedRun(b *testing.B) { shardedRunBody(b, false) }
+
+// ShardedRunParallel is the same machine with a goroutine per shard
+// inside each epoch, at GOMAXPROCS=NumCPU. cmd/benchhot gates this row
+// at >=1.8x ShardedRun on runners with >=4 cores — the tentpole claim
+// that one machine's simulation now scales across cores (no alloc
+// parity: the epoch barrier costs a few pool objects per epoch that the
+// serial path skips).
+func ShardedRunParallel(b *testing.B) {
+	prev := runtime.GOMAXPROCS(runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	shardedRunBody(b, true)
 }
 
 // Fig62SweepSharded is Fig62Sweep with every cell's machine state

@@ -1,0 +1,609 @@
+// Event-plane coherence: the directory protocol of directory.go split
+// into request/reply message legs routed between engine shards by the
+// machine's mem.Sharding. The functional directory executes a whole
+// transaction synchronously inside the requesting processor's event and
+// charges the network latency as a number; the event plane makes that
+// latency real — every leg is a cross-shard message delivered after the
+// topology delay it models (clamped up to the executor's lookahead
+// window), so one machine's coherence traffic can run on
+// sim.ShardedEngine with shards advancing in parallel.
+//
+// The protocol state machine is the same protocol, home-atomic: every
+// directory mutation for a line happens on the line's home shard
+// (mem.Sharding.AddrShard), which is also where its memory words, undo
+// log keys and DRAM channels live. A walk (one transaction) is:
+//
+//	REQ → [PROBE → PROBE-ACK] → resolve → {INVAL*/LWCHECK} + GRANT →
+//	{INVAL-ACK*/LW-ACK} + INSTALL-ACK → release
+//
+// with resolve mirroring Directory.Read/Write decision-for-decision and
+// stat-for-stat (charged to the home shard's stats partition). Lines
+// serialize walks through a per-line busy FIFO; replies that cannot be
+// answered synchronously anymore (a dirty writeback racing a probe)
+// park the walk until the writeback lands.
+//
+// Determinism across shard counts is by key uniqueness: every leg
+// carries a key derived from its walk's per-machine-unique base and its
+// leg index, processor step events carry even keys, and no key-0 events
+// exist in event-plane mode — so same-cycle delivery order is fully
+// determined by (cycle, key) and never by engine sequence numbers,
+// which do diverge across shard counts. Delays are computed from the
+// same topology inputs regardless of which shard a leg crosses, so the
+// trajectory is invariant under the shard count and under
+// Parallel on/off (the sharded executor's own guarantee).
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// EPNode is the per-tile surface the event plane talks to — the
+// asynchronous counterpart of Node. Probe and grant run on the owning
+// processor's shard; they may freely touch that processor's caches and
+// must not touch directory or memory state (that is the home shard's).
+type EPNode interface {
+	// EPProbe asks for the node's copy of line, invalidating it (write
+	// walks) or downgrading it to Shared (read walks). ok is false if
+	// the node no longer holds the line.
+	EPProbe(line uint64, invalidate bool) (data mem.Word, dirty bool, epoch uint64, ok bool)
+	// InvalidateShared removes a clean shared copy (L1 included).
+	InvalidateShared(line uint64)
+	// LastWriterCheck is Node.LastWriterCheck: the WSIG membership
+	// query of §3.3.2, answered on the last writer's shard.
+	LastWriterCheck(line uint64, consumer int) (ok, exact bool)
+	// AddProducer is Node.AddProducer, applied on the requester's shard.
+	AddProducer(producer int, exact bool)
+	// EPGrantRead installs a granted line (Shared, or Exclusive on an
+	// RDX) and resumes the stalled processor. It returns the L2 victim
+	// the install displaced, if any.
+	EPGrantRead(line uint64, data mem.Word, exclusive bool) EPEvict
+	// EPGrantWrite installs a granted line as Modified (data is the
+	// pre-write content, for read-modify-write) and resumes the
+	// stalled processor. It returns the displaced victim, if any.
+	EPGrantWrite(line uint64, data mem.Word) EPEvict
+}
+
+// EPEvict describes the L2 victim a grant displaced. The plane turns it
+// into a WBEVICT (dirty victim: logged writeback at the victim's home)
+// or DROPSHARED (clean shared victim) message; a clean-exclusive victim
+// is evicted silently, as in the functional protocol.
+type EPEvict struct {
+	Line  uint64
+	Data  mem.Word
+	Epoch uint64
+	Kind  uint8
+}
+
+// EPEvict kinds.
+const (
+	EvictNone   uint8 = iota // no victim (or silent clean-exclusive)
+	EvictDirty               // dirty victim: writeback + undo log
+	EvictShared              // clean shared victim: drop the sharer bit
+)
+
+// Leg indices of a walk's messages; each (walk base, leg) pair is a
+// unique event key. INVAL legs embed the sharer index, so the leg space
+// must cover 32 + 2*NProcs.
+const (
+	legREQ = iota
+	legProbe
+	legProbeAck
+	legGrant
+	legInstallAck
+	legLWCheck
+	legLWAck
+	legAddProd
+	legWBEvict
+	legWBAck
+	legDropShared
+
+	legInval    = 32 // + 2*sharer
+	legInvalAck = 33 // + 2*sharer
+)
+
+// legKey builds the ordering key of one leg. Keys are odd: processor
+// step events use even keys (pid<<1), so the two planes never collide.
+func legKey(base uint64, leg int) uint64 {
+	return (base<<16|uint64(leg))<<1 | 1
+}
+
+// epWalk is one in-flight transaction.
+type epWalk struct {
+	pid   int
+	line  uint64
+	id    int32 // interned at the home shard on arrival
+	write bool
+	base  uint64 // per-machine-unique walk number (epWalkCtr*NProcs+pid)
+	owner int    // probed owner, noProc when none
+	piggy bool   // write walks: LW-ID rides the recall/inval path
+}
+
+// epLine is the home-shard serialization state of one line: walks run
+// one at a time (busy from REQ arrival to last ack), later arrivals
+// queue in arrival order, and a walk that must wait for an in-flight
+// writeback parks with refs == 0.
+type epLine struct {
+	busy   bool
+	refs   int
+	parked *epWalk
+	queue  []*epWalk
+}
+
+// EventPlane runs directory transactions as message legs over an
+// externally supplied cross-shard send (the machine binds it to
+// sim.ShardedEngine.SendKeyed). It shares the Directory's per-line
+// arrays — which are only ever touched on a line's home shard — and
+// charges stats and memory traffic to per-shard partitions.
+type EventPlane struct {
+	d      *Directory
+	nodes  []EPNode
+	window sim.Cycle
+	sts    []*stats.Stats    // per engine shard
+	ctrls  []*mem.Controller // per engine shard (shared memory, split DRAM/log)
+	send   func(src, dst int, delay sim.Cycle, key uint64, fn func())
+
+	nsh      int
+	perShard int // processors per engine shard
+
+	// lines[homeShard] holds the busy/queue state of that shard's
+	// in-flight lines; entries exist only while a walk is active.
+	lines []map[int32]*epLine
+	// wbp[pid] counts in-flight dirty writebacks per line address:
+	// incremented on the evictor's shard when the WBEVICT is sent,
+	// decremented there when the home's WBACK returns. A probe that
+	// misses reads it to tell "silent clean eviction" from "dirty copy
+	// in flight to memory" (the latter parks the walk).
+	wbp []map[uint64]int
+}
+
+// NewEventPlane wires an event plane over the directory's state. sts
+// and ctrls are the per-engine-shard stats and memory-controller
+// partitions; send delivers fn on shard dst after delay (>= the
+// window) with the given ordering key.
+func NewEventPlane(d *Directory, nodes []EPNode, window sim.Cycle, sts []*stats.Stats, ctrls []*mem.Controller, send func(src, dst int, delay sim.Cycle, key uint64, fn func())) *EventPlane {
+	nsh := len(sts)
+	if nsh == 0 || len(ctrls) != nsh {
+		panic("coherence: event plane needs one stats and controller partition per shard")
+	}
+	if d.sh.N() != nsh {
+		panic(fmt.Sprintf("coherence: event plane has %d shards, directory sharding has %d", nsh, d.sh.N()))
+	}
+	if len(nodes)%nsh != 0 {
+		panic(fmt.Sprintf("coherence: %d processors do not split evenly over %d shards", len(nodes), nsh))
+	}
+	if legInval+2*len(nodes) >= 1<<16 {
+		panic("coherence: too many processors for the leg-key space")
+	}
+	if window < 1 {
+		panic("coherence: event plane window must be >= 1 cycle")
+	}
+	ep := &EventPlane{
+		d: d, nodes: nodes, window: window,
+		sts: sts, ctrls: ctrls, send: send,
+		nsh: nsh, perShard: len(nodes) / nsh,
+		lines: make([]map[int32]*epLine, nsh),
+		wbp:   make([]map[uint64]int, len(nodes)),
+	}
+	for i := range ep.lines {
+		ep.lines[i] = make(map[int32]*epLine)
+	}
+	for i := range ep.wbp {
+		ep.wbp[i] = make(map[uint64]int)
+	}
+	return ep
+}
+
+// fl clamps a modeled delay up to the lookahead window. Every leg uses
+// it, including legs that happen to stay on one shard, so the delay a
+// leg experiences never depends on the shard count.
+func (ep *EventPlane) fl(d sim.Cycle) sim.Cycle {
+	if d < ep.window {
+		return ep.window
+	}
+	return d
+}
+
+// procShard returns the engine shard processor pid's events run on.
+func (ep *EventPlane) procShard(pid int) int { return pid / ep.perShard }
+
+// homeShard returns the engine shard that owns line's directory entry,
+// memory words and DRAM channels.
+func (ep *EventPlane) homeShard(line uint64) int { return ep.d.sh.AddrShard(line) }
+
+// lineState returns (creating if needed) the serialization state of id.
+func (ep *EventPlane) lineState(home int, id int32) *epLine {
+	l := ep.lines[home][id]
+	if l == nil {
+		l = &epLine{}
+		ep.lines[home][id] = l
+	}
+	return l
+}
+
+// Idle reports whether no walk or writeback is in flight anywhere. The
+// machine combines it with per-shard AllTagged for snapshot quiescence.
+func (ep *EventPlane) Idle() bool {
+	for _, m := range ep.lines {
+		if len(m) > 0 {
+			return false
+		}
+	}
+	for _, m := range ep.wbp {
+		if len(m) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset drops all in-flight walk state (Machine.Reset; the engines are
+// reset separately, which drops the legs themselves).
+func (ep *EventPlane) Reset() {
+	for i := range ep.lines {
+		clear(ep.lines[i])
+	}
+	for i := range ep.wbp {
+		clear(ep.wbp[i])
+	}
+}
+
+// Issue starts a walk for pid on line. It must run on pid's shard (the
+// stalled processor's own event); base must be unique per walk across
+// the machine's lifetime.
+func (ep *EventPlane) Issue(pid int, line uint64, write bool, base uint64) {
+	w := &epWalk{pid: pid, line: line, write: write, base: base, owner: noProc}
+	home := ep.homeShard(line)
+	delay := ep.fl(ep.d.topo.Latency(pid, ep.d.topo.Home(line)))
+	ep.send(ep.procShard(pid), home, delay, legKey(base, legREQ), func() { ep.arrive(w) })
+}
+
+// arrive handles a walk's REQ at the home shard.
+func (ep *EventPlane) arrive(w *epWalk) {
+	home := ep.homeShard(w.line)
+	ep.sts[home].CohMessages++ // request
+	w.id = ep.d.entryID(w.line)
+	ep.d.mark(w.id) // every walk mutates the entry
+	l := ep.lineState(home, w.id)
+	if l.busy {
+		l.queue = append(l.queue, w)
+		return
+	}
+	l.busy = true
+	ep.start(w)
+}
+
+// start runs a walk's first home-shard phase: probe the owner if there
+// is a foreign one, otherwise resolve immediately.
+func (ep *EventPlane) start(w *epWalk) {
+	d := ep.d
+	home := ep.homeShard(w.line)
+	homeTile := d.topo.Home(w.line)
+	owner := int(d.getOwner(w.id))
+	if w.write {
+		// The dependence query rides for free when the LW-ID processor
+		// is the recalled owner or an invalidated sharer (as in Write).
+		lw := d.getLWID(w.id)
+		w.piggy = lw != noProc && (int(lw) == owner || testBit(d.sharerWords(w.id), int(lw)))
+	}
+	if owner != noProc && owner != w.pid {
+		w.owner = owner
+		ep.send(home, ep.procShard(owner), ep.fl(d.topo.Latency(homeTile, owner)),
+			legKey(w.base, legProbe), func() { ep.probe(w) })
+		return
+	}
+	ep.resolve(w, mem.Word{}, false)
+}
+
+// probe runs on the owner's shard: recall (write) or downgrade (read)
+// the owner's copy, and report back together with whether the owner has
+// a dirty writeback of this line still in flight to memory.
+func (ep *EventPlane) probe(w *epWalk) {
+	data, dirty, epoch, ok := ep.nodes[w.owner].EPProbe(w.line, w.write)
+	wbPending := ep.wbp[w.owner][w.line] > 0
+	home := ep.homeShard(w.line)
+	homeTile := ep.d.topo.Home(w.line)
+	delay := ep.fl(ep.d.L2HitCycles + ep.d.topo.Latency(w.owner, homeTile))
+	ep.send(ep.procShard(w.owner), home, delay, legKey(w.base, legProbeAck), func() {
+		ep.probeResolved(w, data, dirty, epoch, ok, wbPending)
+	})
+}
+
+// probeResolved handles the PROBE-ACK at the home shard.
+func (ep *EventPlane) probeResolved(w *epWalk, data mem.Word, dirty bool, epoch uint64, ok, wbPending bool) {
+	d := ep.d
+	home := ep.homeShard(w.line)
+	if ok {
+		ep.sts[home].CohMessages += 3 // fwd, data, ack
+		if !w.write {
+			// Owner supplies the line and downgrades to Shared; a dirty
+			// copy also reaches memory (M→S), logged by the controller —
+			// off the walk's critical path, as in Read.
+			if dirty {
+				ep.ctrls[home].WritebackID(w.owner, epoch, w.id, w.line, data)
+			}
+			setBit(d.sharerWords(w.id), w.owner)
+		}
+		d.setOwner(w.id, noProc)
+		ep.resolve(w, data, true)
+		return
+	}
+	if wbPending && d.getOwner(w.id) == int32(w.owner) {
+		// The owner's dirty copy is on its way to memory (the WBEVICT
+		// has not landed here yet — once it does, it clears the owner
+		// field, so owner still == w.owner is the precise test). Park
+		// until it lands; resolving now would read stale memory.
+		ep.lines[home][w.id].parked = w
+		return
+	}
+	// Stale owner (silent clean eviction): fall through to memory.
+	d.setOwner(w.id, noProc)
+	ep.resolve(w, mem.Word{}, false)
+}
+
+// resolve runs the walk's decision phase at the home shard, mirroring
+// Directory.Read / Directory.Write.
+func (ep *EventPlane) resolve(w *epWalk, data mem.Word, gotData bool) {
+	if w.write {
+		ep.resolveWrite(w, data, gotData)
+	} else {
+		ep.resolveRead(w, data, gotData)
+	}
+}
+
+// grant sends the data grant to the requester and arms the walk's ack
+// count: one INSTALL-ACK plus whatever resolve already fanned out.
+func (ep *EventPlane) grant(w *epWalk, data mem.Word, exclusive bool, delay sim.Cycle, extraRefs int) {
+	home := ep.homeShard(w.line)
+	ep.lines[home][w.id].refs = 1 + extraRefs
+	ep.send(home, ep.procShard(w.pid), delay, legKey(w.base, legGrant), func() {
+		var ev EPEvict
+		if w.write {
+			ev = ep.nodes[w.pid].EPGrantWrite(w.line, data)
+		} else {
+			ev = ep.nodes[w.pid].EPGrantRead(w.line, data, exclusive)
+		}
+		ep.finishGrant(w, ev)
+	})
+}
+
+func (ep *EventPlane) resolveRead(w *epWalk, data mem.Word, gotData bool) {
+	d := ep.d
+	home := ep.homeShard(w.line)
+	st := ep.sts[home]
+	homeTile := d.topo.Home(w.line)
+	id := w.id
+
+	if gotData {
+		setBit(d.sharerWords(id), w.pid)
+		lw := d.getLWID(id)
+		refs := ep.recordDependence(w, lw, lw == int32(w.owner))
+		ep.grant(w, data, false, ep.fl(d.topo.Latency(homeTile, w.pid)), refs)
+		return
+	}
+
+	refs := ep.recordDependence(w, d.getLWID(id), false)
+
+	// Nearest clean sharer supplies cache-to-cache; memory is current
+	// for S lines, so the value is memory's. Otherwise main memory.
+	sh := d.sharerWords(id)
+	supplier := -1
+	for wi, word := range sh {
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if i == w.pid {
+				continue
+			}
+			if supplier < 0 || d.topo.Hops(homeTile, i) < d.topo.Hops(homeTile, supplier) {
+				supplier = i
+			}
+		}
+	}
+	data = ep.ctrls[home].Memory().ReadID(id)
+	if supplier >= 0 {
+		st.CohMessages += 3 // fwd, data, ack
+		setBit(sh, w.pid)
+		delay := ep.fl(d.topo.Latency(homeTile, supplier) + d.L2HitCycles + d.topo.Latency(supplier, w.pid))
+		ep.grant(w, data, false, delay, refs)
+		return
+	}
+	memLat := ep.ctrls[home].DRAM().ReadLatency(w.line)
+	st.CohMessages++ // data message
+	// No other copies: grant Exclusive (RDX), setting LW-ID like a
+	// write — the processor may write silently later.
+	clearWords(sh)
+	d.setOwner(id, int32(w.pid))
+	d.setLWID(id, int32(w.pid))
+	ep.grant(w, data, true, ep.fl(memLat+d.topo.Latency(homeTile, w.pid)), refs)
+}
+
+func (ep *EventPlane) resolveWrite(w *epWalk, data mem.Word, gotData bool) {
+	d := ep.d
+	home := ep.homeShard(w.line)
+	st := ep.sts[home]
+	homeTile := d.topo.Home(w.line)
+	id := w.id
+	lw := d.getLWID(id)
+
+	// Invalidate all other sharers; the grant waits out the worst
+	// sharer round trip (invalidations go in parallel), as in Write.
+	sh := d.sharerWords(id)
+	var worst sim.Cycle
+	wasSharer := false
+	invalidated := 0
+	for wi, word := range sh {
+		for word != 0 {
+			s := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if s == w.pid {
+				wasSharer = true
+				continue
+			}
+			sharer := s
+			ep.send(home, ep.procShard(sharer), ep.fl(d.topo.Latency(homeTile, sharer)),
+				legKey(w.base, legInval+2*sharer), func() { ep.inval(w, sharer) })
+			invalidated++
+			if rt := 2 * d.topo.Latency(homeTile, sharer); rt > worst {
+				worst = rt
+			}
+		}
+	}
+	st.CohMessages += uint64(2 * invalidated) // inval + ack per sharer
+
+	grantDelay := ep.fl(worst + d.topo.Latency(homeTile, w.pid))
+	if !gotData {
+		switch {
+		case wasSharer || d.getOwner(id) == int32(w.pid):
+			// Upgrade: requester already has the data.
+			st.CohMessages++ // grant
+		case worst > 0:
+			// An invalidated sharer supplied the (memory-current) data
+			// cache-to-cache along with its ack.
+			st.CohMessages++ // data message
+		default:
+			memLat := ep.ctrls[home].DRAM().ReadLatency(w.line)
+			grantDelay = ep.fl(worst + memLat + d.topo.Latency(homeTile, w.pid))
+			st.CohMessages++ // data message
+		}
+		data = ep.ctrls[home].Memory().ReadID(id)
+	}
+
+	refs := ep.recordDependence(w, lw, w.piggy)
+	clearWords(d.sharerWords(id))
+	d.setOwner(id, int32(w.pid))
+	d.setLWID(id, int32(w.pid))
+	ep.grant(w, data, false, grantDelay, invalidated+refs)
+}
+
+// recordDependence is the lazy dependence recording of §3.3.1 as
+// message legs: LWCHECK to the last writer's shard, which answers with
+// ADDPROD to the requester and LW-ACK (carrying NO_WR) to home. It
+// returns the number of home-bound acks it put in flight (0 or 1).
+func (ep *EventPlane) recordDependence(w *epWalk, lw int32, piggy bool) int {
+	if lw == noProc || int(lw) == w.pid {
+		return 0
+	}
+	home := ep.homeShard(w.line)
+	if !piggy {
+		ep.sts[home].DepMessages += 2 // query to LW-ID proc + its reply
+	}
+	lwi := int(lw)
+	homeTile := ep.d.topo.Home(w.line)
+	ep.send(home, ep.procShard(lwi), ep.fl(ep.d.topo.Latency(homeTile, lwi)),
+		legKey(w.base, legLWCheck), func() { ep.lwCheck(w, lwi) })
+	return 1
+}
+
+// lwCheck runs on the last writer's shard.
+func (ep *EventPlane) lwCheck(w *epWalk, lw int) {
+	ok, exact := ep.nodes[lw].LastWriterCheck(w.line, w.pid)
+	src := ep.procShard(lw)
+	home := ep.homeShard(w.line)
+	homeTile := ep.d.topo.Home(w.line)
+	ep.send(src, ep.procShard(w.pid), ep.fl(ep.d.topo.Latency(lw, w.pid)),
+		legKey(w.base, legAddProd), func() { ep.nodes[w.pid].AddProducer(lw, exact) })
+	ep.send(src, home, ep.fl(ep.d.topo.Latency(lw, homeTile)),
+		legKey(w.base, legLWAck), func() {
+			// NO_WR clears the stale LW-ID — unless the walk's own
+			// resolve already retargeted it (writes set LW-ID to the
+			// requester, which the functional protocol would likewise
+			// have let win).
+			if !ok && ep.d.getLWID(w.id) == int32(lw) {
+				ep.d.setLWID(w.id, noProc)
+				ep.d.mark(w.id)
+			}
+			ep.ackRef(w)
+		})
+}
+
+// inval runs on an invalidated sharer's shard.
+func (ep *EventPlane) inval(w *epWalk, sharer int) {
+	ep.nodes[sharer].InvalidateShared(w.line)
+	home := ep.homeShard(w.line)
+	homeTile := ep.d.topo.Home(w.line)
+	ep.send(ep.procShard(sharer), home, ep.fl(ep.d.topo.Latency(sharer, homeTile)),
+		legKey(w.base, legInvalAck+2*sharer), func() { ep.ackRef(w) })
+}
+
+// finishGrant runs on the requester's shard right after the node
+// installed the line (and resumed the processor): route the displaced
+// victim, then ack the install back to home.
+func (ep *EventPlane) finishGrant(w *epWalk, ev EPEvict) {
+	src := ep.procShard(w.pid)
+	switch ev.Kind {
+	case EvictDirty:
+		ep.wbp[w.pid][ev.Line]++
+		line, data, epoch := ev.Line, ev.Data, ev.Epoch
+		vh := ep.homeShard(line)
+		vt := ep.d.topo.Home(line)
+		pid := w.pid
+		ep.send(src, vh, ep.fl(ep.d.topo.Latency(pid, vt)),
+			legKey(w.base, legWBEvict), func() { ep.wbEvict(pid, line, data, epoch, w.base) })
+	case EvictShared:
+		line := ev.Line
+		pid := w.pid
+		vh := ep.homeShard(line)
+		vt := ep.d.topo.Home(line)
+		ep.send(src, vh, ep.fl(ep.d.topo.Latency(pid, vt)),
+			legKey(w.base, legDropShared), func() { ep.d.DropShared(pid, line) })
+	}
+	home := ep.homeShard(w.line)
+	ep.send(src, home, ep.fl(ep.d.topo.Latency(w.pid, ep.d.topo.Home(w.line))),
+		legKey(w.base, legInstallAck), func() { ep.ackRef(w) })
+}
+
+// wbEvict applies a dirty-victim writeback at the victim's home shard,
+// mirroring Directory.WritebackEvict, acks the evictor, and resumes a
+// walk parked on this line. Applying while the line is walk-busy is
+// sound: a dirty eviction implies the evictor is (still) the recorded
+// owner until this message lands, which is exactly what the park test
+// in probeResolved keys on.
+func (ep *EventPlane) wbEvict(pid int, line uint64, data mem.Word, epoch uint64, base uint64) {
+	d := ep.d
+	home := ep.homeShard(line)
+	st := ep.sts[home]
+	id := d.entryID(line)
+	d.mark(id)
+	if d.getOwner(id) == int32(pid) {
+		d.setOwner(id, noProc)
+	}
+	clrBit(d.sharerWords(id), pid)
+	st.CohMessages++ // writeback message
+	st.L2WritebacksDemand++
+	ep.ctrls[home].WritebackID(pid, epoch, id, line, data)
+	homeTile := d.topo.Home(line)
+	ep.send(home, ep.procShard(pid), ep.fl(d.topo.Latency(homeTile, pid)),
+		legKey(base, legWBAck), func() {
+			if ep.wbp[pid][line]--; ep.wbp[pid][line] == 0 {
+				delete(ep.wbp[pid], line)
+			}
+		})
+	if l := ep.lines[home][id]; l != nil && l.parked != nil {
+		w := l.parked
+		l.parked = nil
+		ep.resolve(w, mem.Word{}, false)
+	}
+}
+
+// ackRef retires one in-flight ack of w's walk; the last ack releases
+// the line to the next queued walk.
+func (ep *EventPlane) ackRef(w *epWalk) {
+	home := ep.homeShard(w.line)
+	l := ep.lines[home][w.id]
+	if l.refs--; l.refs > 0 {
+		return
+	}
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		copy(l.queue, l.queue[1:])
+		l.queue = l.queue[:len(l.queue)-1]
+		ep.start(next)
+		return
+	}
+	delete(ep.lines[home], w.id)
+}

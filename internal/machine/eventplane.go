@@ -1,0 +1,525 @@
+// Event-plane execution: one machine running on sim.ShardedEngine.
+//
+// The sequential machine executes a coherence transaction as one
+// synchronous directory walk inside the requesting processor's event
+// and charges the network latency as a number. In event-plane mode
+// (Config.EventPlane) that latency becomes real: the machine's state
+// shards (mem.Sharding) each get their own engine, stats partition,
+// DRAM channel subset and undo-log partition, processors are assigned
+// to their group's shard, and every coherence transaction runs as
+// message legs between shards (coherence.EventPlane) with delays
+// clamped up to the lookahead window. A processor that misses in its
+// L2 stalls until the grant leg installs the line and replays the
+// access (proc.go).
+//
+// The event plane is a different timing model from the sequential
+// functional protocol — the clamp makes short hops cost the window —
+// but it is deterministic in a strong sense: the trajectory (machine
+// state, per-processor streams, folded statistics, undo log contents)
+// is byte-identical across shard counts, Parallel on/off and
+// GOMAXPROCS. That holds because every modeled delay is computed from
+// topology inputs alone (never from which shard a leg crosses), every
+// pending event carries a machine-unique ordering key (even keys for
+// processor steps, odd keys for walk legs), and each line's directory,
+// memory, log and DRAM state is touched only on its home shard.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+const (
+	// defaultEPWindow is the lookahead window when Config.EPWindow is
+	// zero; minEPWindow is the floor (the minimum topology hop latency,
+	// so the clamp never stretches a real delay by more than one hop
+	// class).
+	defaultEPWindow = 32
+	minEPWindow     = 8
+	// maxEPShards bounds the shard count so the DRAM channel partition
+	// stays exact: the DRAM channel hash and the state-shard hash are
+	// the same line hash, so with epDRAMChannels a multiple of the
+	// shard count each shard's lines occupy a disjoint channel subset
+	// and per-shard DRAM timing is shard-count invariant.
+	maxEPShards    = 8
+	epDRAMChannels = 8
+)
+
+// epWindow resolves the configured lookahead window.
+func (c Config) epWindow() sim.Cycle {
+	w := c.EPWindow
+	if w == 0 {
+		w = defaultEPWindow
+	}
+	if w < minEPWindow {
+		w = minEPWindow
+	}
+	return w
+}
+
+// epShard is one engine shard's slice of the machine: its event heap,
+// stats partition, DRAM channels and undo-log partition, the controller
+// binding them, and the instructions its processors have committed.
+type epShard struct {
+	id    int
+	eng   *sim.Engine
+	st    *stats.Stats
+	dram  *mem.DRAM
+	log   *mem.Log
+	ctrl  *mem.Controller
+	instr uint64
+}
+
+// epState is the event-plane runtime of a machine (Machine.ep).
+type epState struct {
+	se     *sim.ShardedEngine
+	shards []*epShard
+	plane  *coherence.EventPlane
+	window sim.Cycle
+}
+
+// initEP builds the event-plane runtime over an assembled machine
+// (NewIn calls it after the directory is wired). The null-scheme
+// restriction is structural: checkpoint protocols pause, roll back and
+// message other processors synchronously, which would mutate foreign
+// shard state inside an event.
+func (m *Machine) initEP() {
+	cfg := m.Cfg
+	nsh := cfg.shardCount()
+	if m.Scheme.Name() != "none" {
+		panic(fmt.Sprintf("machine: the event plane requires the null scheme, got %q", m.Scheme.Name()))
+	}
+	if nsh > maxEPShards {
+		panic(fmt.Sprintf("machine: the event plane supports at most %d shards, got %d", maxEPShards, nsh))
+	}
+	if cfg.NProcs%nsh != 0 {
+		panic(fmt.Sprintf("machine: %d processors do not split evenly over %d event-plane shards", cfg.NProcs, nsh))
+	}
+	window := cfg.epWindow()
+	se := sim.NewShardedEngine(nsh, window)
+	se.Parallel = true
+	memory := m.Ctrl.Memory()
+	tab := memory.Table()
+	sharding := memory.Sharding()
+	shards := make([]*epShard, nsh)
+	sts := make([]*stats.Stats, nsh)
+	ctrls := make([]*mem.Controller, nsh)
+	for i := range shards {
+		st := stats.New(cfg.NProcs)
+		dram := mem.NewDRAM(se.Shard(i), st, epDRAMChannels)
+		log := mem.NewLogSharded(st, cfg.LogBanks, tab, sharding)
+		ctrl := mem.NewController(se.Shard(i), st, memory, dram, log)
+		shards[i] = &epShard{id: i, eng: se.Shard(i), st: st, dram: dram, log: log, ctrl: ctrl}
+		sts[i], ctrls[i] = st, ctrl
+	}
+	nodes := make([]coherence.EPNode, cfg.NProcs)
+	per := cfg.NProcs / nsh
+	for i, p := range m.Procs {
+		sh := shards[i/per]
+		p.eng, p.st, p.epsh = sh.eng, sh.st, sh
+		nodes[i] = (*procNode)(p)
+	}
+	plane := coherence.NewEventPlane(m.Dir, nodes, window, sts, ctrls, se.SendKeyed)
+	m.ep = &epState{se: se, shards: shards, plane: plane, window: window}
+}
+
+// EventPlane reports whether the machine runs in event-plane mode.
+func (m *Machine) EventPlane() bool { return m.ep != nil }
+
+// SetEventPlaneParallel toggles goroutine-per-shard epoch execution
+// (on by default). The trajectory is byte-identical either way; the
+// equivalence tests use the sequential setting as the reference.
+func (m *Machine) SetEventPlaneParallel(on bool) {
+	if m.ep == nil {
+		panic("machine: not an event-plane machine")
+	}
+	m.ep.se.Parallel = on
+}
+
+// EventPlaneLogs returns the per-shard undo-log partitions (nil for a
+// sequential machine). Entry Seq numbers are per-partition; canonical
+// comparisons across shard counts must project them out.
+func (m *Machine) EventPlaneLogs() []*mem.Log {
+	if m.ep == nil {
+		return nil
+	}
+	logs := make([]*mem.Log, len(m.ep.shards))
+	for i, sh := range m.ep.shards {
+		logs[i] = sh.log
+	}
+	return logs
+}
+
+// epTotal sums the instructions committed across shards.
+func (m *Machine) epTotal() uint64 {
+	n := uint64(0)
+	for _, sh := range m.ep.shards {
+		n += sh.instr
+	}
+	return n
+}
+
+// runEP drives the sharded executor epoch by epoch until the
+// instruction target is met, the limit is reached or no events remain.
+// The stop condition is evaluated at epoch boundaries only, so the
+// stopping cycle — like everything else — is independent of the shard
+// count (the epoch sequence depends only on global event times and the
+// window).
+func (m *Machine) runEP(limit sim.Cycle) sim.Cycle {
+	for _, p := range m.Procs {
+		p.kick()
+	}
+	se := m.ep.se
+	for {
+		if m.targetInstr != 0 && m.epTotal() >= m.targetInstr {
+			break
+		}
+		if !se.RunEpoch(limit) {
+			break
+		}
+	}
+	m.totalInstr = m.epTotal()
+	m.foldEPStats()
+	return se.Now()
+}
+
+// foldEPStats folds the per-shard stats partitions into the machine
+// Stats (the fold is commutative, so the result is shard-count
+// independent; see stats.AddInto).
+func (m *Machine) foldEPStats() {
+	m.St.Reset()
+	for _, sh := range m.ep.shards {
+		sh.st.AddInto(m.St)
+	}
+	m.St.EndCycle = m.ep.se.Now()
+}
+
+// epIssueWalk issues a coherence walk for line and stalls the
+// processor until the grant returns (the event-plane miss path of
+// loadWord/storeWord). The walk base is unique machine-wide, which is
+// what keys every leg of the walk deterministically.
+func (p *Proc) epIssueWalk(line uint64, write bool) {
+	p.epStalled = true
+	base := p.epWalkCtr*uint64(p.m.Cfg.NProcs) + uint64(p.id)
+	p.epWalkCtr++
+	p.m.ep.plane.Issue(p.id, line, write, base)
+}
+
+// epResume restarts the processor after a grant installed line: the
+// stalled access replays inside the grant event as a cache hit, with
+// the replay flag suppressing its duplicate miss accounting. If a
+// pause request or rollback intervened, the replay arms now and fires
+// at the next step instead.
+func (p *Proc) epResume(line uint64) {
+	p.epStalled = false
+	p.epReplayArmed = true
+	p.epReplayLine = line
+	p.step()
+}
+
+// noteInstrs routes committed instructions to the owning shard's
+// counter (event plane) or to the machine total (sequential model,
+// where it also enforces the run's instruction target).
+func (p *Proc) noteInstrs(n uint64) {
+	if p.epsh != nil {
+		p.epsh.instr += n
+		return
+	}
+	p.m.noteInstrs(n)
+}
+
+// epReset clears the event-plane runtime for Machine.Reset (the shared
+// memory, directory and processors are reset by the caller).
+func (m *Machine) epReset() {
+	m.ep.se.Reset()
+	m.ep.plane.Reset()
+	for _, sh := range m.ep.shards {
+		sh.st.Reset()
+		sh.log.Reset()
+		sh.dram.Reset()
+		sh.instr = 0
+	}
+}
+
+// --- event-plane snapshot/restore ---------------------------------------
+//
+// The quiescence contract carries over from the sequential machine, with
+// the event plane's own obstacles added: every shard's pending events
+// must be tagged (in practice: only keyed step events remain), the
+// coherence plane must have no walk or writeback in flight, and no
+// processor may be stalled on a grant. Pending cross-shard message legs
+// therefore never appear in a capture — they drain during settling —
+// and the per-shard queues save and restore through the same tagged-
+// event mechanism as the sequential engine.
+
+// epShardSnapshot is one engine shard's saved slice: event queue, stats
+// partition, undo-log partition, DRAM channel subset and instruction
+// counter.
+type epShardSnapshot struct {
+	now    sim.Cycle
+	seq    uint64
+	events []sim.SavedEvent
+	st     *stats.Stats
+	log    mem.LogSnapshot
+	dram   mem.DRAMSnapshot
+	instr  uint64
+}
+
+// epProcSnapshot is one processor's event-plane registers. A settle can
+// pause a processor between its grant and its replay, so the stashed op
+// and the armed replay are live state at a snapshot point.
+type epProcSnapshot struct {
+	walkCtr     uint64
+	op          workload.Op
+	opValid     bool
+	replayArmed bool
+	replayLine  uint64
+}
+
+// epBlocker returns "" when the event plane itself is quiescent (the
+// caller checks the per-processor obstacles).
+func (m *Machine) epBlocker() string {
+	for _, sh := range m.ep.shards {
+		if !sh.eng.AllTagged() {
+			return fmt.Sprintf("shard %d has a coherence leg in flight", sh.id)
+		}
+	}
+	if !m.ep.plane.Idle() {
+		return "coherence walk or writeback in flight"
+	}
+	return ""
+}
+
+// settleEPForSnapshot is SettleForSnapshot for event-plane machines. A
+// free-running event-plane machine rarely passes through a spontaneous
+// instant with no walk in flight, so instead of single-stepping toward
+// one it manufactures one: every processor is asked to pause at its next
+// op boundary (a stalled processor acks right after its grant replays),
+// the in-flight legs drain over the following epochs, and once the
+// machine is fully quiet every shard clock is advanced to the epoch
+// frontier and the processors resume — leaving exactly one keyed step
+// event per processor at the frontier, which is a snapshotable queue.
+// The sequence depends only on global event times, so the settled state
+// is byte-identical across shard counts and Parallel settings.
+func (m *Machine) settleEPForSnapshot(maxCycles sim.Cycle) bool {
+	se := m.ep.se
+	deadline := se.Now() + maxCycles
+	for _, p := range m.Procs {
+		if !p.paused {
+			p.RequestPause(func() {})
+		}
+	}
+	for !m.epDrained() {
+		if se.Now() > deadline || !se.RunEpoch(0) {
+			m.epResumeAll()
+			return false
+		}
+	}
+	m.epResumeAll()
+	return m.snapshotBlocker() == ""
+}
+
+// epDrained reports whether every processor has honoured its pause
+// request and the plane has gone quiet. It reads p.paused from the
+// coordinating goroutine between epochs only — an ack closure mutating
+// shared state would race under parallel epoch execution.
+func (m *Machine) epDrained() bool {
+	for _, p := range m.Procs {
+		if !p.paused {
+			return false
+		}
+	}
+	return m.epBlocker() == ""
+}
+
+// epResumeAll aligns every shard clock to the executor frontier and
+// restarts the processors there. The alignment matters: an engine whose
+// heap emptied mid-epoch holds the clock of its last event, which varies
+// with the shard partition, and resume kicks schedule at the local
+// clock. Any pause request still pending (failed settle) is cancelled so
+// the machine stays runnable.
+func (m *Machine) epResumeAll() {
+	front := m.ep.se.Now()
+	for _, sh := range m.ep.shards {
+		sh.eng.AdvanceTo(front)
+	}
+	for _, p := range m.Procs {
+		if p.paused {
+			p.Resume()
+		} else {
+			p.pauseReq = nil
+		}
+	}
+}
+
+// snapshotEP is Machine.Snapshot for event-plane machines.
+func (m *Machine) snapshotEP(s *MachineSnapshot) error {
+	if why := m.snapshotBlocker(); why != "" {
+		return fmt.Errorf("machine: not snapshot-safe: %s", why)
+	}
+	nsh := len(m.ep.shards)
+	if cap(s.epShards) < nsh {
+		s.epShards = make([]epShardSnapshot, nsh)
+	}
+	s.epShards = s.epShards[:nsh]
+	if cap(s.epTab) < nsh {
+		s.epTab = make([][]uint64, nsh)
+	}
+	s.epTab = s.epTab[:nsh]
+	tab := m.Ctrl.Memory().Table()
+	for i, sh := range m.ep.shards {
+		es := &s.epShards[i]
+		now, seq, events, ok := sh.eng.Save(es.events)
+		if !ok {
+			return fmt.Errorf("machine: not snapshot-safe: untagged event on shard %d", i)
+		}
+		es.now, es.seq, es.events = now, seq, events
+		if es.st == nil || es.st.NProcs != m.Cfg.NProcs {
+			es.st = stats.New(m.Cfg.NProcs)
+		}
+		sh.st.CopyInto(es.st)
+		es.instr = sh.instr
+		s.epTab[i] = append(s.epTab[i][:0], tab.ShardAddrs(i)...)
+	}
+	s.epFrontier = m.ep.se.Now()
+	if cap(s.epProcs) < len(m.Procs) {
+		s.epProcs = make([]epProcSnapshot, len(m.Procs))
+	}
+	s.epProcs = s.epProcs[:len(m.Procs)]
+	for i, p := range m.Procs {
+		s.epProcs[i] = epProcSnapshot{
+			walkCtr: p.epWalkCtr, op: p.epOp, opValid: p.epOpValid,
+			replayArmed: p.epReplayArmed, replayLine: p.epReplayLine,
+		}
+	}
+	s.cfg = m.Cfg
+	m.totalInstr = m.epTotal()
+	s.totalInstr, s.targetInstr = m.totalInstr, m.targetInstr
+	m.foldEPStats()
+	if s.st == nil || s.st.NProcs != m.Cfg.NProcs {
+		s.st = stats.New(m.Cfg.NProcs)
+	}
+	m.St.CopyInto(s.st)
+	if cap(s.procs) < len(m.Procs) {
+		s.procs = make([]procSnapshot, len(m.Procs))
+	}
+	s.procs = s.procs[:len(m.Procs)]
+	m.saveEPParallel(s)
+	s.scheme = nil // the event plane runs the (stateless) null scheme
+	s.valid = true
+	s.gen++
+	return nil
+}
+
+// saveEPParallel fans the decomposable state out across cores: one task
+// per processor, per memory shard, per directory shard, and per shard
+// each for the log partitions and DRAM models.
+func (m *Machine) saveEPParallel(s *MachineSnapshot) {
+	m.Ctrl.Memory().SavePrepare(&s.mem)
+	m.Dir.SavePrepare(&s.dir)
+	np, nsh := len(m.Procs), len(m.ep.shards)
+	parallelDo(np+4*nsh, func(t int) {
+		switch {
+		case t < np:
+			m.Procs[t].saveState(&s.procs[t])
+		case t < np+nsh:
+			m.Ctrl.Memory().SaveShard(&s.mem, t-np)
+		case t < np+2*nsh:
+			m.Dir.SaveShard(&s.dir, t-np-nsh)
+		case t < np+3*nsh:
+			i := t - np - 2*nsh
+			m.ep.shards[i].log.Save(&s.epShards[i].log)
+		default:
+			i := t - np - 3*nsh
+			m.ep.shards[i].dram.Save(&s.epShards[i].dram)
+		}
+	})
+	m.Ctrl.Memory().SaveFinish(&s.mem)
+}
+
+// restoreEP is Machine.Restore for event-plane machines (the caller has
+// checked validity and config identity, which includes EventPlane and
+// the shard count).
+func (m *Machine) restoreEP(s *MachineSnapshot) error {
+	if len(s.epShards) != len(m.ep.shards) {
+		return fmt.Errorf("machine: snapshot is not an event-plane capture")
+	}
+	tab := m.Ctrl.Memory().Table()
+	for i := range s.epTab {
+		if err := tab.AdoptShardPrefix(i, s.epTab[i]); err != nil {
+			return err
+		}
+	}
+	for i, sh := range m.ep.shards {
+		es := &s.epShards[i]
+		sh.eng.Load(es.now, es.seq, es.events, m.resolveTag)
+		es.st.CopyInto(sh.st)
+		sh.instr = es.instr
+	}
+	m.ep.se.AdoptFrontier(s.epFrontier)
+	m.ep.plane.Reset() // quiescent capture: no walks to reconstruct
+	m.totalInstr, m.targetInstr = s.totalInstr, s.targetInstr
+	s.st.CopyInto(m.St)
+	m.loadEPParallel(s, m.restoredFrom == s && m.restoredGen == s.gen)
+	for i, p := range m.Procs {
+		p.epResetProc()
+		ps := &s.epProcs[i]
+		p.epWalkCtr = ps.walkCtr
+		p.epOp, p.epOpValid = ps.op, ps.opValid
+		p.epReplayArmed, p.epReplayLine = ps.replayArmed, ps.replayLine
+	}
+	m.OnTaint = nil
+	m.restoredFrom, m.restoredGen = s, s.gen
+	return nil
+}
+
+// loadEPParallel is the restore-side counterpart of saveEPParallel.
+func (m *Machine) loadEPParallel(s *MachineSnapshot, delta bool) {
+	np, nsh := len(m.Procs), len(m.ep.shards)
+	parallelDo(np+4*nsh, func(t int) {
+		switch {
+		case t < np:
+			m.Procs[t].loadState(&s.procs[t])
+		case t < np+nsh:
+			if delta {
+				m.Ctrl.Memory().LoadDeltaShard(&s.mem, t-np)
+			} else {
+				m.Ctrl.Memory().LoadShard(&s.mem, t-np)
+			}
+		case t < np+2*nsh:
+			if delta {
+				m.Dir.LoadDeltaShard(&s.dir, t-np-nsh)
+			} else {
+				m.Dir.LoadShard(&s.dir, t-np-nsh)
+			}
+		case t < np+3*nsh:
+			i := t - np - 2*nsh
+			if delta {
+				m.ep.shards[i].log.LoadDelta(&s.epShards[i].log)
+			} else {
+				m.ep.shards[i].log.Load(&s.epShards[i].log)
+			}
+		default:
+			i := t - np - 3*nsh
+			m.ep.shards[i].dram.Load(&s.epShards[i].dram)
+		}
+	})
+	m.Ctrl.Memory().LoadFinish(&s.mem)
+}
+
+// epResetProc clears the per-processor event-plane state (Proc.reset
+// and snapshot restore).
+func (p *Proc) epResetProc() {
+	p.epStalled = false
+	p.epOp = workload.Op{}
+	p.epOpValid = false
+	p.epReplayArmed = false
+	p.epReplayLine = 0
+	p.epWalkCtr = 0
+	p.epVictim = coherence.EPEvict{}
+}

@@ -17,12 +17,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/campaign"
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 var shardCounts = []int{1, 2, 4}
@@ -212,6 +214,120 @@ func TestSharded256ProcSnapshotSmoke(t *testing.T) {
 	}
 	if !bytes.Equal(enc1, enc4) {
 		t.Fatal("fresh machine restore + re-snapshot is not byte-identical to the persisted snapshot")
+	}
+}
+
+// --- event-plane equivalence --------------------------------------------
+
+// epBuild constructs an event-plane machine: the null-scheme cell
+// executing on sim.ShardedEngine (machine/eventplane.go).
+func epBuild(t *testing.T, shards int) *machine.Machine {
+	t.Helper()
+	cfg := machine.DefaultConfig(8)
+	cfg.Shards = shards
+	cfg.EventPlane = true
+	return machine.New(cfg, workload.ByName("FFT"), machine.NullScheme{})
+}
+
+// epFingerprint renders everything an event-plane run could diverge in.
+// The undo log lives in per-shard partitions whose Seq numbers are
+// per-partition counters, so the log enters the fingerprint as the
+// canonical sorted projection of its entries with Seq dropped.
+func epFingerprint(m *machine.Machine) string {
+	var entries []string
+	for _, l := range m.EventPlaneLogs() {
+		for pid := 0; pid < m.Cfg.NProcs; pid++ {
+			for _, e := range l.EntriesFor(pid) {
+				entries = append(entries, fmt.Sprintf("%d|%d|%d|%v|%d", e.At, e.PID, e.Line, e.Old, e.Epoch))
+			}
+		}
+	}
+	sort.Strings(entries)
+	return fmt.Sprintf("cycle=%d instr=%d stats=%s mem=%v log=%v",
+		m.Now(), m.TotalInstructions(), m.St.Snapshot(), m.Ctrl.Memory().Snapshot(), entries)
+}
+
+// TestEventPlaneEquivalence is the tentpole determinism claim: the
+// event-plane trajectory — machine state, folded stats, undo-log
+// contents, the settle sequence and the post-settle continuation — is
+// byte-identical across shard counts 1/2/4, parallel and sequential
+// epoch execution, and GOMAXPROCS widths (CI runs this under -race,
+// which is what makes the per-shard disjointness claim load-bearing).
+func TestEventPlaneEquivalence(t *testing.T) {
+	widths := []int{1, runtime.NumCPU()}
+	var ref string
+	for _, shards := range shardCounts {
+		for _, par := range []bool{false, true} {
+			for _, width := range widths {
+				name := fmt.Sprintf("shards=%d/parallel=%v/gomaxprocs=%d", shards, par, width)
+				t.Run(name, func(t *testing.T) {
+					old := runtime.GOMAXPROCS(width)
+					defer runtime.GOMAXPROCS(old)
+					m := epBuild(t, shards)
+					m.SetEventPlaneParallel(par)
+					m.Run(8 * 30_000)
+					if !m.SettleForSnapshot(1_000_000) {
+						t.Fatal("event-plane machine never settled")
+					}
+					m.Run(8 * 5_000)
+					fp := epFingerprint(m)
+					if ref == "" {
+						ref = fp
+					} else if fp != ref {
+						t.Fatalf("event-plane trajectory diverged from the shards=1 reference")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEventPlaneSnapshotRoundTrip: an event-plane machine settles,
+// snapshots (per-shard queues through the tagged-event mechanism),
+// diverges, restores byte-identically, and its restored continuation
+// matches the original run — on the same machine and on a cold one.
+// The in-memory capture must refuse the persistent codec (the format
+// does not carry per-shard queues).
+func TestEventPlaneSnapshotRoundTrip(t *testing.T) {
+	m := epBuild(t, 4)
+	m.Run(8 * 10_000)
+	if !m.SettleForSnapshot(1_000_000) {
+		t.Fatal("event-plane machine never settled")
+	}
+	snap := new(machine.MachineSnapshot)
+	if err := m.Snapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	fpA := epFingerprint(m)
+	m.Run(8 * 5_000)
+	fpB := epFingerprint(m)
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if epFingerprint(m) != fpA {
+		t.Fatal("restore did not return the event-plane machine to the captured state")
+	}
+	m.Run(8 * 5_000)
+	if epFingerprint(m) != fpB {
+		t.Fatal("the restored continuation diverged from the original run")
+	}
+
+	// Cold restore: a never-run machine of the same shape lands on the
+	// same state and continues identically.
+	m2 := epBuild(t, 4)
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if epFingerprint(m2) != fpA {
+		t.Fatal("cold machine restore diverged from the captured state")
+	}
+	m2.Run(8 * 5_000)
+	if epFingerprint(m2) != fpB {
+		t.Fatal("cold machine continuation diverged from the original run")
+	}
+
+	if _, err := m.EncodeSnapshot(snap); err == nil {
+		t.Fatal("event-plane snapshots must refuse the persistent codec")
 	}
 }
 

@@ -29,6 +29,10 @@ func parallelDo(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	if n == 1 {
+		fn(0)
+		return
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n

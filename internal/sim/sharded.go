@@ -22,13 +22,18 @@
 // event interleavings per shard and identical destination-heap
 // sequence numbers, so any trace recorded by the model is identical.
 //
-// The functional Rebound machine model mutates cross-processor
-// coherence state synchronously inside events (zero-latency directory
-// walks), so its event plane does not satisfy the lookahead contract
-// and stays on the sequential Engine; the ShardedEngine is the
-// validated substrate for models that do (see the equivalence suite in
+// The machine model runs on this executor in event-plane mode
+// (machine.Config.EventPlane): coherence transactions are decomposed
+// into request/reply message legs whose modeled latencies are clamped
+// up to the window, every leg and processor step carries a unique
+// ordering key (SendKeyed / Engine.ScheduleKeyed), and each line's
+// directory state is touched only on its home shard — which together
+// satisfy the lookahead contract and make the trajectory independent
+// of the shard count. The historical functional protocol (zero-latency
+// synchronous directory walks) stays on the sequential Engine. The
+// executor's own determinism is validated by the equivalence suite in
 // sharded_test.go, which runs under -race at several GOMAXPROCS
-// settings).
+// settings.
 package sim
 
 import (
@@ -41,8 +46,9 @@ import (
 // until the epoch barrier.
 type xmsg struct {
 	at  Cycle  // absolute delivery cycle (>= epoch end + 1)
-	src int    // sending shard (merge key 2)
-	seq uint64 // per-source send sequence (merge key 3)
+	key uint64 // shifted ordering key (merge key 2); 0 for plain Send
+	src int    // sending shard (merge key 3)
+	seq uint64 // per-source send sequence (merge key 4)
 	dst int
 	fn  func()
 }
@@ -135,6 +141,28 @@ func (se *ShardedEngine) Send(src, dst int, delay Cycle, fn func()) {
 	})
 }
 
+// SendKeyed is Send for a message whose delivery order relative to
+// other same-cycle keyed messages must be independent of which shard
+// sent it: deliveries at the same cycle are merged in ascending key
+// order ahead of (src, seq), and fire on the destination heap in that
+// key order too (see Engine.ScheduleKeyed). Plain Send messages carry
+// key 0 and therefore keep their historical (at, src, seq) order ahead
+// of all keyed messages. The caller owns key uniqueness.
+func (se *ShardedEngine) SendKeyed(src, dst int, delay Cycle, key uint64, fn func()) {
+	if delay < se.window {
+		panic("sim: cross-shard Send delay below the lookahead window")
+	}
+	se.sent[src]++
+	se.outbox[src] = append(se.outbox[src], xmsg{
+		at:  se.shards[src].Now() + delay,
+		key: key + 1,
+		src: src,
+		seq: se.sent[src],
+		dst: dst,
+		fn:  fn,
+	})
+}
+
 // earliest returns the minimum pending event time across shards.
 // Outboxes are always empty here — every barrier drains them.
 func (se *ShardedEngine) earliest() (Cycle, bool) {
@@ -158,30 +186,40 @@ func (se *ShardedEngine) earliest() (Cycle, bool) {
 // then injects the buffered cross-shard messages in (deliverAt, src,
 // seq) order.
 func (se *ShardedEngine) Run(limit Cycle) Cycle {
-	for {
-		start, any := se.earliest()
-		if !any {
-			return se.now
-		}
-		if limit != 0 && start > limit {
-			se.now = limit
-			return se.now
-		}
-		end := start + se.window - 1
-		if limit != 0 && end > limit {
-			end = limit
-		}
-
-		if se.Parallel && len(se.shards) > 1 {
-			se.runEpochParallel(end)
-		} else {
-			for _, sh := range se.shards {
-				sh.Run(end)
-			}
-		}
-		se.barrier()
-		se.now = end
+	for se.RunEpoch(limit) {
 	}
+	return se.now
+}
+
+// RunEpoch advances exactly one epoch (or stops at limit) and reports
+// whether it made progress. It is the building block of Run, exposed so
+// that callers who need to poll model state at epoch granularity — the
+// machine event plane checks instruction budgets and snapshot
+// quiescence between epochs — can drive the same executor.
+func (se *ShardedEngine) RunEpoch(limit Cycle) bool {
+	start, any := se.earliest()
+	if !any {
+		return false
+	}
+	if limit != 0 && start > limit {
+		se.now = limit
+		return false
+	}
+	end := start + se.window - 1
+	if limit != 0 && end > limit {
+		end = limit
+	}
+
+	if se.Parallel && len(se.shards) > 1 {
+		se.runEpochParallel(end)
+	} else {
+		for _, sh := range se.shards {
+			sh.Run(end)
+		}
+	}
+	se.barrier()
+	se.now = end
+	return true
 }
 
 // runEpochParallel runs every shard's heap through end with one worker
@@ -230,6 +268,9 @@ func (se *ShardedEngine) barrier() {
 			if msgs[a].at != msgs[b].at {
 				return msgs[a].at < msgs[b].at
 			}
+			if msgs[a].key != msgs[b].key {
+				return msgs[a].key < msgs[b].key
+			}
 			if msgs[a].src != msgs[b].src {
 				return msgs[a].src < msgs[b].src
 			}
@@ -237,11 +278,20 @@ func (se *ShardedEngine) barrier() {
 		})
 	}
 	for _, m := range msgs {
-		se.shards[m.dst].At(m.at, m.fn)
+		if m.key == 0 {
+			se.shards[m.dst].At(m.at, m.fn)
+		} else {
+			se.shards[m.dst].scheduleKeyedAbs(m.at, m.key, m.fn)
+		}
 	}
 	clear(msgs)
 	se.merged = msgs[:0]
 }
+
+// AdoptFrontier restores the completed-epoch frontier (machine
+// snapshot restore; the per-shard engines are restored separately, and
+// outboxes are empty at any restorable point).
+func (se *ShardedEngine) AdoptFrontier(now Cycle) { se.now = now }
 
 // Reset returns every shard to cycle 0 with empty heaps and outboxes.
 func (se *ShardedEngine) Reset() {

@@ -180,6 +180,57 @@ func TestShardedSendBelowWindowPanics(t *testing.T) {
 	se.Send(0, 1, 7, func() {})
 }
 
+// TestShardedZeroWindowRejected pins the constructor contract: a zero
+// lookahead window would make every cross-shard Send illegal and the
+// epoch loop degenerate, so NewShardedEngine must reject it outright
+// rather than document some partial semantics.
+func TestShardedZeroWindowRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShardedEngine with a zero window did not panic")
+		}
+	}()
+	NewShardedEngine(2, 0)
+}
+
+// TestShardedKeyedMergeOrder: SendKeyed deliveries at the same cycle
+// merge in ascending key order regardless of source shard, and fire in
+// key order on the destination heap even when injected out of key
+// order; plain Send messages keep their historical order ahead of all
+// keyed ones.
+func TestShardedKeyedMergeOrder(t *testing.T) {
+	se := NewShardedEngine(3, 10)
+	var got []string
+	se.Shard(2).Schedule(5, func() {
+		se.SendKeyed(2, 0, 10, 7, func() { got = append(got, "k7") })
+	})
+	se.Shard(1).Schedule(5, func() {
+		se.SendKeyed(1, 0, 10, 3, func() { got = append(got, "k3") })
+		se.Send(1, 0, 10, func() { got = append(got, "plain") })
+	})
+	se.Run(0)
+	want := []string{"plain", "k3", "k7"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("keyed merge order = %v, want %v", got, want)
+	}
+}
+
+// TestKeyedScheduleOrder: on a single Engine, same-cycle keyed events
+// fire in key order independent of scheduling order, after any plain
+// events at that cycle.
+func TestKeyedScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.ScheduleKeyed(5, 9, func() { got = append(got, "k9") })
+	e.ScheduleKeyed(5, 2, func() { got = append(got, "k2") })
+	e.Schedule(5, func() { got = append(got, "plain") })
+	e.Run(0)
+	want := []string{"plain", "k2", "k9"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("keyed schedule order = %v, want %v", got, want)
+	}
+}
+
 // TestShardedRunLimit: Run(limit) leaves events beyond the limit
 // pending and parks the frontier at the limit, like Engine.Run.
 func TestShardedRunLimit(t *testing.T) {
